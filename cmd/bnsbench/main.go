@@ -1,0 +1,68 @@
+// Command bnsbench regenerates the paper's tables and figures on the
+// synthetic datasets.
+//
+// Usage:
+//
+//	bnsbench -exp table4            # one experiment
+//	bnsbench -exp all               # everything, in paper order
+//	bnsbench -list                  # show available experiments
+//	bnsbench -exp fig4 -quick       # tiny epochs, full code path
+//	bnsbench -exp table4 -runs 3    # mean±std over 3 seeds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (e.g. table4, fig5) or 'all'")
+		list   = flag.Bool("list", false, "list available experiments")
+		scale  = flag.Int("scale", 1, "dataset scale multiplier")
+		epochs = flag.Int("epochs", 0, "override training epochs (0 = per-experiment default)")
+		runs   = flag.Int("runs", 1, "repeated runs for mean±std columns")
+		quick  = flag.Bool("quick", false, "truncate to a few epochs (smoke mode)")
+		seed   = flag.Uint64("seed", 0, "master seed (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "bnsbench: -exp required (or -list); e.g. -exp table4 or -exp all")
+		os.Exit(2)
+	}
+	o := experiments.Options{Scale: *scale, Epochs: *epochs, Runs: *runs, Quick: *quick, Seed: *seed}
+
+	run := func(r experiments.Runner) {
+		fmt.Printf("=== %s: %s ===\n", r.ID, r.Title)
+		start := time.Now()
+		if err := r.Run(os.Stdout, o); err != nil {
+			fmt.Fprintf(os.Stderr, "bnsbench: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %s ---\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, r := range experiments.Registry() {
+			run(r)
+		}
+		return
+	}
+	r, ok := experiments.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "bnsbench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(r)
+}

@@ -1,0 +1,113 @@
+// Command bnspart partitions a generated (or saved) graph and prints a
+// Table-1-style boundary report: per-partition inner/boundary counts, the
+// Eq. 3 communication volume, edge cut and balance.
+//
+// Usage:
+//
+//	bnspart -dataset reddit -k 10
+//	bnspart -dataset papers100m -k 192 -partitioner random
+//	bnspart -load graph.bin -k 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "reddit", "dataset: reddit, products, yelp, papers100m")
+		load   = flag.String("load", "", "load a binary CSR graph instead of generating")
+		k      = flag.Int("k", 10, "number of partitions")
+		method = flag.String("partitioner", "metis", "metis or random")
+		scale  = flag.Int("scale", 1, "dataset scale multiplier")
+		seed   = flag.Uint64("seed", 1, "generation and partitioning seed")
+		save   = flag.String("save", "", "optionally save the generated graph to this path")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	if *load != "" {
+		var err error
+		g, err = graph.LoadFile(*load)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		var cfg datagen.Config
+		switch *dsName {
+		case "reddit":
+			cfg = datagen.RedditSim(*scale, *seed)
+		case "products":
+			cfg = datagen.ProductsSim(*scale, *seed)
+		case "yelp":
+			cfg = datagen.YelpSim(*scale, *seed)
+		case "papers100m":
+			cfg = datagen.Papers100MSim(*scale, *seed)
+		default:
+			fatal(fmt.Errorf("unknown dataset %q", *dsName))
+		}
+		cfg.StructureOnly = true
+		ds, err := datagen.Generate(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		g = ds.G
+	}
+	if *save != "" {
+		if err := graph.SaveFile(*save, g); err != nil {
+			fatal(err)
+		}
+	}
+
+	var pt partition.Partitioner
+	switch *method {
+	case "metis":
+		pt = &partition.Metis{Seed: *seed}
+	case "random":
+		pt = &partition.Random{Seed: *seed}
+	default:
+		fatal(fmt.Errorf("unknown partitioner %q", *method))
+	}
+	parts, err := pt.Partition(g, *k)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := partition.ComputeStats(g, parts, *k)
+	if err != nil {
+		fatal(err)
+	}
+	topo, err := core.BuildTopology(g, parts, *k)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("graph: %d nodes, %d edges (avg degree %.1f)\n", g.N, g.NumEdges(), g.AvgDegree())
+	fmt.Printf("partitioner: %s, k=%d, balance=%.3f, edge cut=%d (%.1f%%)\n",
+		pt.Name(), *k, st.Balance, st.EdgeCut, 100*float64(st.EdgeCut)/float64(g.NumEdges()))
+	fmt.Printf("communication volume (Eq. 3): %d boundary nodes\n\n", topo.CommVolume())
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "partition\t# inner\t# boundary\tratio\n")
+	for i := 0; i < *k; i++ {
+		nin, nbd := len(topo.Inner[i]), len(topo.Boundary[i])
+		ratio := 0.0
+		if nin > 0 {
+			ratio = float64(nbd) / float64(nin)
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.2f\n", i+1, nin, nbd, ratio)
+	}
+	tw.Flush()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bnspart:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "BNS-GCN: Efficient
+// Full-Graph Training of Graph Convolutional Networks with
+// Partition-Parallelism and Random Boundary Node Sampling" (MLSys 2022).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for paper-vs-
+// measured results. The benchmarks in bench_test.go regenerate every table
+// and figure of the paper's evaluation in quick mode; cmd/bnsbench runs them
+// at full size.
+package repro

@@ -1,0 +1,49 @@
+// Multilabel: BNS-GCN on a Yelp-like multi-label dataset, scored with
+// micro-F1 — exercising the sigmoid-BCE loss path the paper uses for Yelp.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/partition"
+)
+
+func main() {
+	ds, err := datagen.Generate(datagen.YelpSim(1, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("yelp-sim: %d nodes, %d edges, %d labels/node avg, multi-label=%v\n",
+		ds.G.N, ds.G.NumEdges(), 3, ds.MultiLabel)
+
+	const k = 6
+	parts, err := (&partition.Metis{Seed: 2}).Partition(ds.G, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := core.BuildTopology(ds.G, parts, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, p := range []float64{1.0, 0.1, 0.0} {
+		trainer, err := core.NewParallelTrainer(ds, topo, core.ParallelConfig{
+			Model: core.ModelConfig{
+				Arch: core.ArchSAGE, Layers: 4, Hidden: 32,
+				Dropout: 0.1, LR: 0.003, Seed: 42,
+			},
+			P: p, SampleSeed: 9,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for epoch := 0; epoch < 120; epoch++ {
+			trainer.TrainEpoch()
+		}
+		fmt.Printf("p=%-4.2g  test micro-F1 %.4f\n", p, trainer.Evaluate(ds.TestMask))
+	}
+	fmt.Println("expected shape: p=0.1 matches (or beats) p=1; p=0 is the worst (Table 4).")
+}

@@ -1,0 +1,78 @@
+// Papers100m: the hyper-scale scenario (paper Section 4.2, Table 6 and
+// Figures 3/8). The graph analogue is partitioned 192 ways; we report the
+// boundary-node imbalance, the Eq. 4 memory balance under sampling, and the
+// projected epoch-time breakdown on a 32-machine V100 cluster after scaling
+// counts to the real graph's 111M nodes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/costmodel"
+	"repro/internal/datagen"
+	"repro/internal/partition"
+	"repro/internal/stats"
+)
+
+func main() {
+	ds, err := datagen.Generate(datagen.Papers100MSim(1, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("papers100m-sim: %d nodes, %d edges (structure-only analogue of 111M-node ogbn-papers100M)\n",
+		ds.G.N, ds.G.NumEdges())
+
+	const k = 192
+	parts, err := (&partition.Metis{Seed: 1}).Partition(ds.G, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	topo, err := core.BuildTopology(ds.G, parts, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Figure 3: boundary/inner imbalance.
+	ratios := topo.BoundaryRatios()
+	box := stats.BoxStats(ratios)
+	fmt.Printf("\nboundary/inner ratio across %d partitions: median %.2f, straggler %.2f\n",
+		k, box.Median, box.Max)
+
+	// Figure 8: memory balance restored by sampling.
+	dims := []int{128, 128, 128}
+	for _, p := range []float64{1.0, 0.1, 0.01} {
+		mems := topo.MemoryCosts(dims, p)
+		var mx int64
+		for _, m := range mems {
+			if m > mx {
+				mx = m
+			}
+		}
+		vals := make([]float64, k)
+		for i, m := range mems {
+			vals[i] = float64(m) / float64(mx)
+		}
+		b := stats.BoxStats(vals)
+		fmt.Printf("p=%-5.2g  normalized memory: q1 %.2f median %.2f q3 %.2f\n",
+			p, b.Q1, b.Median, b.Q3)
+	}
+
+	// Table 6: projected epoch breakdown at real scale.
+	wl := costmodel.FromTopology(topo, []int{128, 128, 128}, []int{128, 128, 172},
+		128*2*128+128*2*128+128*2*172)
+	scale := 111_000_000.0 / float64(ds.G.N)
+	wl.MaxInner = int(float64(wl.MaxInner) * scale)
+	wl.MaxBoundary = int(float64(wl.MaxBoundary) * scale)
+	wl.TotalBoundary = int64(float64(wl.TotalBoundary) * scale)
+	wl.MaxLocalEdges = int64(float64(wl.MaxLocalEdges) * scale * 14.4)
+	wl.TotalNodes = 111_000_000
+
+	fmt.Println("\nprojected epoch breakdown on 32×6 V100 cluster (paper Table 6 analogue):")
+	for _, p := range []float64{1.0, 0.1, 0.01} {
+		b := costmodel.EstimateBNS(wl, p, costmodel.MultiMachineV100)
+		fmt.Printf("p=%-5.2g  total %7.1fs  comp %5.1fs  comm %7.1fs  reduce %4.1fs\n",
+			p, b.Total(), b.Compute, b.Comm, b.Reduce)
+	}
+}

@@ -1,0 +1,254 @@
+// Package comm provides the in-process message-passing substrate that stands
+// in for Gloo/NCCL in the paper's setup: one goroutine per partition
+// ("device"), tagged point-to-point sends and receives, AllReduce, variable
+// AllGather, barriers, and per-worker byte accounting. The byte counters are
+// exact and feed the cost model that projects wall-clock times onto the
+// paper's hardware profiles.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// message is one tagged payload between a (src,dst) pair. Exactly one of
+// F32/I32 is non-nil.
+type message struct {
+	tag int
+	f32 []float32
+	i32 []int32
+}
+
+// Cluster is a group of m workers connected all-to-all. Create with New,
+// then either call Run (which spawns one goroutine per worker) or obtain
+// Workers manually for tests.
+type Cluster struct {
+	m         int
+	chans     [][]chan message // chans[src][dst]
+	barrier   *reusableBarrier
+	bytesSent []atomic.Int64 // per source worker
+	msgsSent  []atomic.Int64
+}
+
+// New creates a cluster of m workers. queueCap bounds the number of
+// outstanding messages per directed pair; 0 selects a default large enough
+// for the all-to-all exchange patterns used in training.
+func New(m int, queueCap int) *Cluster {
+	if m <= 0 {
+		panic(fmt.Sprintf("comm: cluster size %d", m))
+	}
+	if queueCap <= 0 {
+		queueCap = 256
+	}
+	c := &Cluster{
+		m:         m,
+		chans:     make([][]chan message, m),
+		barrier:   newBarrier(m),
+		bytesSent: make([]atomic.Int64, m),
+		msgsSent:  make([]atomic.Int64, m),
+	}
+	for s := 0; s < m; s++ {
+		c.chans[s] = make([]chan message, m)
+		for d := 0; d < m; d++ {
+			c.chans[s][d] = make(chan message, queueCap)
+		}
+	}
+	return c
+}
+
+// Size returns the number of workers.
+func (c *Cluster) Size() int { return c.m }
+
+// Worker returns the handle for the given rank.
+func (c *Cluster) Worker(rank int) *Worker {
+	if rank < 0 || rank >= c.m {
+		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", rank, c.m))
+	}
+	return &Worker{c: c, rank: rank}
+}
+
+// Run executes fn concurrently on every worker and waits for all to finish.
+// A panic in any worker is re-raised (first one wins) after all goroutines
+// have stopped or panicked.
+func (c *Cluster) Run(fn func(w *Worker)) {
+	var wg sync.WaitGroup
+	panics := make(chan any, c.m)
+	for r := 0; r < c.m; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			fn(c.Worker(rank))
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// BytesSent returns the total payload bytes sent by rank since the last
+// ResetCounters.
+func (c *Cluster) BytesSent(rank int) int64 { return c.bytesSent[rank].Load() }
+
+// TotalBytesSent sums BytesSent over all workers.
+func (c *Cluster) TotalBytesSent() int64 {
+	var t int64
+	for r := 0; r < c.m; r++ {
+		t += c.bytesSent[r].Load()
+	}
+	return t
+}
+
+// MessagesSent returns the number of messages sent by rank.
+func (c *Cluster) MessagesSent(rank int) int64 { return c.msgsSent[rank].Load() }
+
+// ResetCounters zeroes all byte and message counters.
+func (c *Cluster) ResetCounters() {
+	for r := 0; r < c.m; r++ {
+		c.bytesSent[r].Store(0)
+		c.msgsSent[r].Store(0)
+	}
+}
+
+// Worker is one rank's endpoint in the cluster. Methods on a Worker must be
+// called only from that worker's goroutine.
+type Worker struct {
+	c    *Cluster
+	rank int
+}
+
+// Rank returns this worker's id in [0, Size).
+func (w *Worker) Rank() int { return w.rank }
+
+// Size returns the cluster size.
+func (w *Worker) Size() int { return w.c.m }
+
+// SendF32 sends a float32 payload to dst with a tag. The payload is not
+// copied; the sender must not mutate it afterwards (matching real RDMA
+// semantics where the buffer is owned by the transport until delivery).
+func (w *Worker) SendF32(dst, tag int, data []float32) {
+	w.account(4 * len(data))
+	w.c.chans[w.rank][dst] <- message{tag: tag, f32: data}
+}
+
+// SendI32 sends an int32 payload to dst with a tag.
+func (w *Worker) SendI32(dst, tag int, data []int32) {
+	w.account(4 * len(data))
+	w.c.chans[w.rank][dst] <- message{tag: tag, i32: data}
+}
+
+// RecvF32 receives the next float32 message from src, which must carry the
+// expected tag; a tag mismatch means a protocol bug and panics.
+func (w *Worker) RecvF32(src, tag int) []float32 {
+	msg := <-w.c.chans[src][w.rank]
+	if msg.tag != tag || msg.f32 == nil && len(msg.i32) > 0 {
+		panic(fmt.Sprintf("comm: rank %d expected f32 tag %d from %d, got tag %d", w.rank, tag, src, msg.tag))
+	}
+	return msg.f32
+}
+
+// RecvI32 receives the next int32 message from src with the expected tag.
+func (w *Worker) RecvI32(src, tag int) []int32 {
+	msg := <-w.c.chans[src][w.rank]
+	if msg.tag != tag || msg.i32 == nil && len(msg.f32) > 0 {
+		panic(fmt.Sprintf("comm: rank %d expected i32 tag %d from %d, got tag %d", w.rank, tag, src, msg.tag))
+	}
+	return msg.i32
+}
+
+func (w *Worker) account(bytes int) {
+	w.c.bytesSent[w.rank].Add(int64(bytes))
+	w.c.msgsSent[w.rank].Add(1)
+}
+
+// Barrier blocks until every worker has entered it.
+func (w *Worker) Barrier() { w.c.barrier.wait() }
+
+// AllReduceSum sums data elementwise across all workers; on return every
+// worker's slice holds the global sum. Implemented as reduce-to-root plus
+// broadcast; byte accounting reflects the actual messages sent.
+func (w *Worker) AllReduceSum(data []float32, tag int) {
+	m := w.c.m
+	if m == 1 {
+		return
+	}
+	if w.rank == 0 {
+		for src := 1; src < m; src++ {
+			part := w.RecvF32(src, tag)
+			if len(part) != len(data) {
+				panic(fmt.Sprintf("comm: allreduce length mismatch %d vs %d", len(part), len(data)))
+			}
+			for i, v := range part {
+				data[i] += v
+			}
+		}
+		for dst := 1; dst < m; dst++ {
+			w.SendF32(dst, tag+1, data)
+		}
+	} else {
+		buf := make([]float32, len(data))
+		copy(buf, data)
+		w.SendF32(0, tag, buf)
+		copy(data, w.RecvF32(0, tag+1))
+	}
+}
+
+// AllGatherI32 gathers each worker's variable-length int32 slice; the result
+// is indexed by rank and identical on every worker.
+func (w *Worker) AllGatherI32(data []int32, tag int) [][]int32 {
+	m := w.c.m
+	out := make([][]int32, m)
+	own := make([]int32, len(data))
+	copy(own, data)
+	out[w.rank] = own
+	for dst := 0; dst < m; dst++ {
+		if dst != w.rank {
+			w.SendI32(dst, tag, own)
+		}
+	}
+	for src := 0; src < m; src++ {
+		if src != w.rank {
+			out[src] = w.RecvI32(src, tag)
+		}
+	}
+	return out
+}
+
+// reusableBarrier is a generation-counted barrier usable repeatedly.
+type reusableBarrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *reusableBarrier {
+	b := &reusableBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *reusableBarrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Checkpoint format: magic, config header, then each parameter matrix as
+// (rows, cols, float32 data), little-endian. The architecture is stored so a
+// mismatched load fails loudly instead of silently misassigning weights.
+
+const ckptMagic = uint32(0x424E5343) // "BNSC"
+
+// SaveCheckpoint writes the model's configuration and parameters to w.
+func SaveCheckpoint(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, ckptMagic); err != nil {
+		return fmt.Errorf("core: checkpoint magic: %w", err)
+	}
+	header := []int64{
+		int64(len(m.Config.Arch)),
+		int64(m.Config.Layers),
+		int64(m.Config.Hidden),
+		int64(m.InDim),
+		int64(m.OutDim),
+	}
+	if err := binary.Write(bw, binary.LittleEndian, header); err != nil {
+		return fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	if _, err := bw.WriteString(string(m.Config.Arch)); err != nil {
+		return err
+	}
+	params := m.Params()
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(params))); err != nil {
+		return err
+	}
+	for i, p := range params {
+		if err := binary.Write(bw, binary.LittleEndian, int64(p.Rows)); err != nil {
+			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, int64(p.Cols)); err != nil {
+			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
+		}
+		if err := binary.Write(bw, binary.LittleEndian, p.Data); err != nil {
+			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads parameters written by SaveCheckpoint into m, which
+// must have the same architecture and dimensions.
+func LoadCheckpoint(r io.Reader, m *Model) error {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("core: checkpoint magic: %w", err)
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("core: bad checkpoint magic %#x", magic)
+	}
+	header := make([]int64, 5)
+	if err := binary.Read(br, binary.LittleEndian, header); err != nil {
+		return fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	archBytes := make([]byte, header[0])
+	if _, err := io.ReadFull(br, archBytes); err != nil {
+		return fmt.Errorf("core: checkpoint arch: %w", err)
+	}
+	if Arch(archBytes) != m.Config.Arch || int(header[1]) != m.Config.Layers ||
+		int(header[2]) != m.Config.Hidden || int(header[3]) != m.InDim || int(header[4]) != m.OutDim {
+		return fmt.Errorf("core: checkpoint is %s/%d layers/%d hidden/%d->%d, model is %s/%d/%d/%d->%d",
+			archBytes, header[1], header[2], header[3], header[4],
+			m.Config.Arch, m.Config.Layers, m.Config.Hidden, m.InDim, m.OutDim)
+	}
+	var nParams int64
+	if err := binary.Read(br, binary.LittleEndian, &nParams); err != nil {
+		return err
+	}
+	params := m.Params()
+	if int(nParams) != len(params) {
+		return fmt.Errorf("core: checkpoint has %d params, model has %d", nParams, len(params))
+	}
+	for i, p := range params {
+		var rows, cols int64
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
+		}
+		if int(rows) != p.Rows || int(cols) != p.Cols {
+			return fmt.Errorf("core: checkpoint param %d is %dx%d, model expects %dx%d", i, rows, cols, p.Rows, p.Cols)
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.Data); err != nil {
+			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SaveCheckpointFile writes a checkpoint to path.
+func SaveCheckpointFile(path string, m *Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveCheckpoint(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadCheckpointFile loads a checkpoint from path into m.
+func LoadCheckpointFile(path string, m *Model) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadCheckpoint(f, m)
+}
+
+// ParamVector flattens all parameters into one float32 slice (a copy),
+// useful for comparing replicas in tests and tools.
+func (m *Model) ParamVector() []float32 {
+	var out []float32
+	for _, p := range m.Params() {
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// MaxParamDiff returns the largest absolute elementwise difference between
+// the parameters of two same-shaped models.
+func MaxParamDiff(a, b *Model) float32 {
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		panic("core: MaxParamDiff across different architectures")
+	}
+	var mx float32
+	for i := range pa {
+		for j := range pa[i].Data {
+			d := pa[i].Data[j] - pb[i].Data[j]
+			if d < 0 {
+				d = -d
+			}
+			if d > mx {
+				mx = d
+			}
+		}
+	}
+	return mx
+}

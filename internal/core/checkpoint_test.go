@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	m1, err := NewModel(testModelConfig(), 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m1); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := testModelConfig()
+	cfg2.Seed = 999 // different init, must be overwritten by load
+	m2, err := NewModel(cfg2, 12, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MaxParamDiff(m1, m2) == 0 {
+		t.Fatal("different seeds should differ before load")
+	}
+	if err := LoadCheckpoint(&buf, m2); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxParamDiff(m1, m2); d != 0 {
+		t.Fatalf("round trip changed weights by %v", d)
+	}
+}
+
+func TestCheckpointRejectsArchMismatch(t *testing.T) {
+	m1, _ := NewModel(testModelConfig(), 12, 6)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m1); err != nil {
+		t.Fatal(err)
+	}
+	gatCfg := ModelConfig{Arch: ArchGAT, Layers: 2, Hidden: 16, LR: 0.01, Seed: 1}
+	m2, _ := NewModel(gatCfg, 12, 6)
+	if err := LoadCheckpoint(&buf, m2); err == nil {
+		t.Fatal("arch mismatch must error")
+	}
+}
+
+func TestCheckpointRejectsDimMismatch(t *testing.T) {
+	m1, _ := NewModel(testModelConfig(), 12, 6)
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, m1); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := NewModel(testModelConfig(), 14, 6) // different input dim
+	if err := LoadCheckpoint(&buf, m2); err == nil {
+		t.Fatal("dim mismatch must error")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	m, _ := NewModel(testModelConfig(), 12, 6)
+	if err := LoadCheckpoint(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}), m); err == nil {
+		t.Fatal("garbage must error")
+	}
+}
+
+func TestCheckpointFileRoundTrip(t *testing.T) {
+	m1, _ := NewModel(testModelConfig(), 8, 4)
+	path := t.TempDir() + "/model.ckpt"
+	if err := SaveCheckpointFile(path, m1); err != nil {
+		t.Fatal(err)
+	}
+	m2, _ := NewModel(testModelConfig(), 8, 4)
+	for _, p := range m2.Params() {
+		p.Zero()
+	}
+	if err := LoadCheckpointFile(path, m2); err != nil {
+		t.Fatal(err)
+	}
+	if MaxParamDiff(m1, m2) != 0 {
+		t.Fatal("file round trip changed weights")
+	}
+}
+
+func TestCheckpointPreservesTrainedModel(t *testing.T) {
+	// Save a trained model, load into a fresh one, verify identical logits.
+	ds := testDataset(t, 30)
+	full, err := NewFullTrainer(ds, testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 10; e++ {
+		full.TrainEpoch()
+	}
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, full.Model); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFullTrainer(ds, testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadCheckpoint(&buf, restored.Model); err != nil {
+		t.Fatal(err)
+	}
+	a := full.Evaluate(ds.TestMask)
+	b := restored.Evaluate(ds.TestMask)
+	if a != b {
+		t.Fatalf("restored model scores %v, original %v", b, a)
+	}
+}
+
+func TestParamVectorLength(t *testing.T) {
+	m, _ := NewModel(testModelConfig(), 12, 6)
+	v := m.ParamVector()
+	want := 0
+	for _, p := range m.Params() {
+		want += len(p.Data)
+	}
+	if len(v) != want {
+		t.Fatalf("vector length %d, want %d", len(v), want)
+	}
+}

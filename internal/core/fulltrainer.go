@@ -1,0 +1,79 @@
+package core
+
+import (
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// FullTrainer trains a model on the whole graph in a single process — the
+// exact full-graph reference that BNS-GCN with p=1 must match, and the
+// substrate the sampling-based baselines (Tables 4, 5, 11) run on.
+type FullTrainer struct {
+	DS     *datagen.Dataset
+	Model  *Model
+	Opt    optim.Optimizer
+	invDeg []float32
+}
+
+// NewFullTrainer builds the reference trainer with an Adam optimizer.
+func NewFullTrainer(ds *datagen.Dataset, cfg ModelConfig) (*FullTrainer, error) {
+	model, err := NewModel(cfg, ds.FeatureDim(), ds.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	return &FullTrainer{
+		DS:     ds,
+		Model:  model,
+		Opt:    optim.NewAdam(cfg.LR),
+		invDeg: nn.InvDegrees(ds.G),
+	}, nil
+}
+
+// Forward runs the model over the full graph and returns logits for every
+// node. train enables dropout.
+func (t *FullTrainer) Forward(train bool) *tensor.Matrix {
+	h := t.DS.Features
+	for l, layer := range t.Model.LayersL {
+		h = t.Model.Dropouts[l].Forward(h, train)
+		h = layer.Forward(t.DS.G, h, t.DS.G.N, t.invDeg)
+	}
+	return h
+}
+
+// backwardFrom propagates dLogits through the model, accumulating parameter
+// gradients.
+func (t *FullTrainer) backwardFrom(dLogits *tensor.Matrix) {
+	d := dLogits
+	for l := len(t.Model.LayersL) - 1; l >= 0; l-- {
+		d = t.Model.LayersL[l].Backward(d)
+		d = t.Model.Dropouts[l].Backward(d)
+	}
+}
+
+// TrainEpoch runs one full-graph training step and returns the train loss.
+func (t *FullTrainer) TrainEpoch() float64 {
+	logits := t.Forward(true)
+	loss, dLogits := Loss(t.DS, logits, t.DS.Labels, t.DS.LabelMatrix, t.DS.TrainMask, 0)
+	t.Model.ZeroGrad()
+	t.backwardFrom(dLogits)
+	t.Opt.Step(t.Model.Params(), t.Model.Grads())
+	return loss
+}
+
+// Evaluate returns the score (accuracy or micro-F1) on the given mask using
+// exact full-graph inference.
+func (t *FullTrainer) Evaluate(mask []bool) float64 {
+	logits := t.Forward(false)
+	return Score(t.DS, logits, mask)
+}
+
+// Score computes the dataset-appropriate metric over masked rows of logits.
+func Score(ds *datagen.Dataset, logits *tensor.Matrix, mask []bool) float64 {
+	if ds.MultiLabel {
+		return metrics.MicroF1(logits, ds.LabelMatrix, mask)
+	}
+	return metrics.Accuracy(logits, ds.Labels, mask)
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Arch selects the model family.
+type Arch string
+
+const (
+	// ArchSAGE is GraphSAGE with a mean aggregator, the paper's main model.
+	ArchSAGE Arch = "sage"
+	// ArchGAT is single-head graph attention (Table 10 scenario).
+	ArchGAT Arch = "gat"
+)
+
+// ModelConfig describes a GCN model as in the paper's Section 4 setups
+// (e.g. Reddit: 4 layers, 256 hidden, lr 0.01, dropout 0.5).
+type ModelConfig struct {
+	Arch    Arch
+	Layers  int
+	Hidden  int
+	Dropout float32
+	LR      float32
+	Seed    uint64
+}
+
+// Validate checks the configuration.
+func (c *ModelConfig) Validate() error {
+	if c.Arch != ArchSAGE && c.Arch != ArchGAT {
+		return fmt.Errorf("core: unknown arch %q", c.Arch)
+	}
+	if c.Layers < 1 {
+		return fmt.Errorf("core: need >=1 layer, got %d", c.Layers)
+	}
+	if c.Hidden < 1 {
+		return fmt.Errorf("core: hidden dim %d", c.Hidden)
+	}
+	if c.Dropout < 0 || c.Dropout >= 1 {
+		return fmt.Errorf("core: dropout %v", c.Dropout)
+	}
+	return nil
+}
+
+// GraphLayer is the uniform layer interface the trainers drive: forward over
+// a local node space producing outputs for the first nOut rows, backward
+// returning input gradients for all rows.
+type GraphLayer interface {
+	nn.Layer
+	Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix
+	Backward(dOut *tensor.Matrix) *tensor.Matrix
+	InputDim() int
+	OutputDim() int
+}
+
+// sageLayer adapts nn.SAGEConv to GraphLayer.
+type sageLayer struct{ *nn.SAGEConv }
+
+func (l sageLayer) InputDim() int  { return l.SAGEConv.InDim }
+func (l sageLayer) OutputDim() int { return l.SAGEConv.OutDim }
+
+// gatLayer adapts nn.GATConv to GraphLayer (invDeg is unused by attention).
+type gatLayer struct{ *nn.GATConv }
+
+func (l gatLayer) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, _ []float32) *tensor.Matrix {
+	return l.GATConv.Forward(g, h, nOut)
+}
+func (l gatLayer) InputDim() int  { return l.GATConv.InDim }
+func (l gatLayer) OutputDim() int { return l.GATConv.OutDim }
+
+// Model is a stack of graph layers with per-layer dropout, replicated on
+// every partition during parallel training.
+type Model struct {
+	Config   ModelConfig
+	LayersL  []GraphLayer
+	Dropouts []*nn.Dropout
+	InDim    int
+	OutDim   int
+}
+
+// NewModel builds a model with deterministic initialization from cfg.Seed.
+// All replicas built with the same seed hold bit-identical weights.
+func NewModel(cfg ModelConfig, inDim, outDim int) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(cfg.Seed)
+	m := &Model{Config: cfg, InDim: inDim, OutDim: outDim}
+	for l := 0; l < cfg.Layers; l++ {
+		in := cfg.Hidden
+		out := cfg.Hidden
+		act := nn.ReLUAct
+		if l == 0 {
+			in = inDim
+		}
+		if l == cfg.Layers-1 {
+			out = outDim
+			act = nn.NoAct
+		}
+		switch cfg.Arch {
+		case ArchSAGE:
+			m.LayersL = append(m.LayersL, sageLayer{nn.NewSAGEConv(in, out, act, rng)})
+		case ArchGAT:
+			m.LayersL = append(m.LayersL, gatLayer{nn.NewGATConv(in, out, act, rng)})
+		}
+		m.Dropouts = append(m.Dropouts, nn.NewDropout(cfg.Dropout, rng))
+	}
+	return m, nil
+}
+
+// Layers returns the stack as nn.Layer values for optimizers and grad
+// flattening.
+func (m *Model) Layers() []nn.Layer {
+	out := make([]nn.Layer, len(m.LayersL))
+	for i, l := range m.LayersL {
+		out[i] = l
+	}
+	return out
+}
+
+// LayerInputDims returns the input feature dimension of every layer, the d^(ℓ)
+// sequence of Eq. 4.
+func (m *Model) LayerInputDims() []int {
+	dims := make([]int, len(m.LayersL))
+	for i, l := range m.LayersL {
+		dims[i] = l.InputDim()
+	}
+	return dims
+}
+
+// ZeroGrad clears all parameter gradients.
+func (m *Model) ZeroGrad() {
+	for _, l := range m.LayersL {
+		l.ZeroGrad()
+	}
+}
+
+// Params returns all trainable parameters in deterministic order.
+func (m *Model) Params() []*tensor.Matrix {
+	var ps []*tensor.Matrix
+	for _, l := range m.LayersL {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns all gradients aligned with Params.
+func (m *Model) Grads() []*tensor.Matrix {
+	var gs []*tensor.Matrix
+	for _, l := range m.LayersL {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// CopyWeightsFrom copies parameters from src (same architecture).
+func (m *Model) CopyWeightsFrom(src *Model) {
+	sp := src.Params()
+	dp := m.Params()
+	if len(sp) != len(dp) {
+		panic(fmt.Sprintf("core: weight copy across different models: %d vs %d params", len(sp), len(dp)))
+	}
+	for i := range dp {
+		dp[i].CopyFrom(sp[i])
+	}
+}
+
+// Loss computes the dataset-appropriate loss and logit gradient over masked
+// rows, rescaled so that summing across partitions yields the global mean
+// loss: both loss and gradient are multiplied by (local masked count /
+// denom). Pass denom == global masked count; for single-process training use
+// the local count itself.
+func Loss(ds *datagen.Dataset, logits *tensor.Matrix, labels []int32, labelMatrix *tensor.Matrix, mask []bool, denom int) (float64, *tensor.Matrix) {
+	local := 0
+	for i := 0; i < logits.Rows; i++ {
+		if mask[i] {
+			local++
+		}
+	}
+	var loss float64
+	var grad *tensor.Matrix
+	if ds.MultiLabel {
+		loss, grad = nn.SigmoidBCE(logits, labelMatrix, mask)
+	} else {
+		loss, grad = nn.SoftmaxCrossEntropy(logits, labels, mask)
+	}
+	if denom > 0 && local != denom {
+		scale := float64(local) / float64(denom)
+		loss *= scale
+		grad.Scale(float32(scale))
+	}
+	return loss, grad
+}

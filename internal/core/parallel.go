@@ -1,0 +1,533 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tensor"
+)
+
+// Message tags for the per-epoch protocol. Channels are FIFO per pair and
+// the protocol is fully ordered, so constant per-phase tags suffice.
+const (
+	tagPositions = 1   // sampled boundary positions (Algorithm 1 line 6)
+	tagForward   = 10  // + layer index: feature rows (line 9)
+	tagBackward  = 200 // + layer index: feature gradient rows (line 13)
+	tagReduce    = 900 // AllReduce of weight gradients (line 14)
+)
+
+// LocalPartition holds everything one worker owns: its inner slice of the
+// dataset, the local adjacency over inner+halo node space, and reusable
+// per-epoch scratch buffers.
+type LocalPartition struct {
+	ID  int
+	NIn int // inner nodes (local ids [0, NIn))
+	NBd int // boundary/halo slots (local ids [NIn, NIn+NBd))
+
+	GlobalInner    []int32
+	GlobalBoundary []int32
+
+	// Full local adjacency at p=1: only inner rows have neighbors; halo rows
+	// are empty (their aggregations are never computed locally).
+	fullIndptr  []int64
+	fullIndices []int32
+
+	InvDeg      []float32 // per inner node, 1/global degree
+	localNbrs   []int32   // per inner node, count of same-partition neighbors
+	Features    *tensor.Matrix
+	Labels      []int32
+	LabelMatrix *tensor.Matrix
+	TrainMask   []bool
+	ValMask     []bool
+	TestMask    []bool
+	TrainCount  int
+
+	// Per-epoch scratch, reused to avoid allocation churn.
+	epochIndptr  []int64
+	epochIndices []int32
+	active       []bool
+}
+
+// NewLocalPartition extracts partition i's local view from the dataset and
+// topology.
+func NewLocalPartition(ds *datagen.Dataset, t *Topology, i int) *LocalPartition {
+	inner := t.Inner[i]
+	boundary := t.Boundary[i]
+	lp := &LocalPartition{
+		ID:             i,
+		NIn:            len(inner),
+		NBd:            len(boundary),
+		GlobalInner:    inner,
+		GlobalBoundary: boundary,
+	}
+	n := lp.NIn + lp.NBd
+
+	// Local id lookup: inner nodes by owner index, boundary via sorted search.
+	haloOf := func(u int32) int32 {
+		j := sort.Search(len(boundary), func(x int) bool { return boundary[x] >= u })
+		return int32(lp.NIn + j)
+	}
+
+	lp.fullIndptr = make([]int64, n+1)
+	for li, v := range inner {
+		lp.fullIndptr[li+1] = lp.fullIndptr[li] + int64(t.G.Degree(v))
+	}
+	for li := lp.NIn; li < n; li++ {
+		lp.fullIndptr[li+1] = lp.fullIndptr[li]
+	}
+	lp.fullIndices = make([]int32, lp.fullIndptr[lp.NIn])
+	pos := 0
+	for _, v := range inner {
+		for _, u := range t.G.Neighbors(v) {
+			if t.Parts[u] == int32(i) {
+				lp.fullIndices[pos] = t.InnerIndex(u)
+			} else {
+				lp.fullIndices[pos] = haloOf(u)
+			}
+			pos++
+		}
+	}
+
+	lp.InvDeg = make([]float32, lp.NIn)
+	lp.localNbrs = make([]int32, lp.NIn)
+	for li, v := range inner {
+		if d := t.G.Degree(v); d > 0 {
+			lp.InvDeg[li] = 1 / float32(d)
+		}
+		for _, u := range t.G.Neighbors(v) {
+			if t.Parts[u] == int32(i) {
+				lp.localNbrs[li]++
+			}
+		}
+	}
+
+	if ds.Features.Rows > 0 {
+		lp.Features = tensor.GatherRows(ds.Features, inner)
+	}
+	if ds.Labels != nil {
+		lp.Labels = make([]int32, lp.NIn)
+		for li, v := range inner {
+			lp.Labels[li] = ds.Labels[v]
+		}
+	}
+	if ds.LabelMatrix != nil {
+		lp.LabelMatrix = tensor.GatherRows(ds.LabelMatrix, inner)
+	}
+	lp.TrainMask = make([]bool, lp.NIn)
+	lp.ValMask = make([]bool, lp.NIn)
+	lp.TestMask = make([]bool, lp.NIn)
+	for li, v := range inner {
+		lp.TrainMask[li] = ds.TrainMask[v]
+		lp.ValMask[li] = ds.ValMask[v]
+		lp.TestMask[li] = ds.TestMask[v]
+		if ds.TrainMask[v] {
+			lp.TrainCount++
+		}
+	}
+
+	lp.epochIndptr = make([]int64, n+1)
+	lp.epochIndices = make([]int32, len(lp.fullIndices))
+	lp.active = make([]bool, n)
+	return lp
+}
+
+// epochGraph rebuilds the node-induced local subgraph on inner ∪ sampled
+// boundary (Algorithm 1 line 5): edges to inactive halo slots are dropped.
+// The returned graph aliases reusable buffers — valid until the next call.
+func (lp *LocalPartition) epochGraph() *graph.Graph {
+	n := lp.NIn + lp.NBd
+	pos := int64(0)
+	for v := 0; v < lp.NIn; v++ {
+		lp.epochIndptr[v] = pos
+		for _, u := range lp.fullIndices[lp.fullIndptr[v]:lp.fullIndptr[v+1]] {
+			if lp.active[u] {
+				lp.epochIndices[pos] = u
+				pos++
+			}
+		}
+	}
+	for v := lp.NIn; v <= n; v++ {
+		lp.epochIndptr[v] = pos
+	}
+	return &graph.Graph{N: n, Indptr: lp.epochIndptr, Indices: lp.epochIndices[:pos]}
+}
+
+// Estimator selects how sampled neighbor aggregations are normalized.
+type Estimator int
+
+const (
+	// EstimatorSelfNorm (default) pairs the 1/p feature rescale with the
+	// matching effective-degree normalizer |local| + (1/p)·|sampled remote|.
+	// The estimate is a convex combination of neighbor features — bounded —
+	// and equals the exact mean at p=1. See DESIGN.md §6.
+	EstimatorSelfNorm Estimator = iota
+	// EstimatorHT is the paper's literal form: 1/p rescale normalized by the
+	// full global degree (Horvitz–Thompson). Unbiased, but on low-degree
+	// graphs a lone sampled neighbor carries weight 1/p and deep stacks
+	// amplify the spikes; kept for the ablation study.
+	EstimatorHT
+)
+
+// ParallelConfig configures BNS-GCN training.
+type ParallelConfig struct {
+	Model ModelConfig
+	// P is the boundary node sampling rate (Algorithm 1): 1 = vanilla
+	// partition parallelism, 0 = fully isolated training.
+	P float64
+	// SampleSeed seeds the per-partition boundary sampling streams.
+	SampleSeed uint64
+	// Estimator selects the sampled-aggregation normalizer (SAGE only).
+	Estimator Estimator
+}
+
+// EpochStats reports one epoch of parallel training. Durations are the
+// maximum across workers (the straggler defines epoch time); byte counts are
+// totals across workers.
+type EpochStats struct {
+	Loss        float64
+	SampleTime  time.Duration
+	ComputeTime time.Duration
+	CommTime    time.Duration
+	ReduceTime  time.Duration
+	CommBytes   int64 // boundary feature + gradient traffic
+	ReduceBytes int64 // weight gradient AllReduce traffic
+	SampledBd   []int // per partition: boundary nodes kept this epoch
+}
+
+// TotalTime returns the epoch wall-clock estimate (sum of phases).
+func (s *EpochStats) TotalTime() time.Duration {
+	return s.SampleTime + s.ComputeTime + s.CommTime + s.ReduceTime
+}
+
+// ParallelTrainer trains one model replica per partition with boundary node
+// sampling, following Algorithm 1. One goroutine per partition plays the
+// role of one GPU.
+type ParallelTrainer struct {
+	DS      *datagen.Dataset
+	Topo    *Topology
+	Cfg     ParallelConfig
+	Locals  []*LocalPartition
+	Cluster *comm.Cluster
+	Models  []*Model
+	opts    []optim.Optimizer
+	rngs    []*tensor.RNG
+
+	globalTrainCount int
+	epoch            int
+	evalModel        *Model
+	evalTrainer      *FullTrainer
+}
+
+// NewParallelTrainer builds local partitions, one model replica per worker
+// (identically initialized), and the communication cluster.
+func NewParallelTrainer(ds *datagen.Dataset, topo *Topology, cfg ParallelConfig) (*ParallelTrainer, error) {
+	if cfg.P < 0 || cfg.P > 1 {
+		return nil, fmt.Errorf("core: sampling rate p=%v outside [0,1]", cfg.P)
+	}
+	k := topo.K
+	t := &ParallelTrainer{
+		DS:      ds,
+		Topo:    topo,
+		Cfg:     cfg,
+		Cluster: comm.New(k, 0),
+	}
+	for i := 0; i < k; i++ {
+		t.Locals = append(t.Locals, NewLocalPartition(ds, topo, i))
+		model, err := NewModel(cfg.Model, ds.FeatureDim(), ds.NumClasses)
+		if err != nil {
+			return nil, err
+		}
+		t.Models = append(t.Models, model)
+		t.opts = append(t.opts, optim.NewAdam(cfg.Model.LR))
+		t.rngs = append(t.rngs, tensor.NewRNG(cfg.SampleSeed+uint64(i)*0x9e3779b9))
+		t.globalTrainCount += t.Locals[i].TrainCount
+	}
+	return t, nil
+}
+
+// workerStats collects one worker's per-epoch timing and byte counters.
+type workerStats struct {
+	loss                       float64
+	sample, compute, comm, red time.Duration
+	commBytes, reduceBytes     int64
+	sampledBd                  int
+}
+
+// TrainEpoch runs one synchronized BNS-GCN epoch across all partitions and
+// returns aggregate statistics.
+func (t *ParallelTrainer) TrainEpoch() *EpochStats {
+	k := t.Topo.K
+	stats := make([]workerStats, k)
+	t.Cluster.Run(func(w *comm.Worker) {
+		stats[w.Rank()] = t.runWorkerEpoch(w)
+	})
+	t.epoch++
+
+	agg := &EpochStats{SampledBd: make([]int, k)}
+	for i, s := range stats {
+		agg.Loss += s.loss
+		agg.CommBytes += s.commBytes
+		agg.ReduceBytes += s.reduceBytes
+		agg.SampledBd[i] = s.sampledBd
+		if s.sample > agg.SampleTime {
+			agg.SampleTime = s.sample
+		}
+		if s.compute > agg.ComputeTime {
+			agg.ComputeTime = s.compute
+		}
+		if s.comm > agg.CommTime {
+			agg.CommTime = s.comm
+		}
+		if s.red > agg.ReduceTime {
+			agg.ReduceTime = s.red
+		}
+	}
+	return agg
+}
+
+// runWorkerEpoch is Algorithm 1's loop body from one partition's view.
+func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
+	var ws workerStats
+	rank := w.Rank()
+	lp := t.Locals[rank]
+	model := t.Models[rank]
+	rng := t.rngs[rank]
+	k := t.Topo.K
+	p := float32(t.Cfg.P)
+	// The paper's 1/p rescaling of received features (Section 3.2) makes the
+	// *mean aggregator's* neighbor sum unbiased. Attention models normalize
+	// per-neighborhood via softmax, so the rescale would only distort the
+	// attention logits — GAT runs unscaled, matching the official code.
+	invP := float32(1)
+	if t.Cfg.P > 0 && t.Cfg.Model.Arch == ArchSAGE {
+		invP = 1 / float32(t.Cfg.P)
+	}
+
+	// --- Sampling phase (lines 4–7) ---
+	start := time.Now()
+	for i := range lp.active {
+		lp.active[i] = i < lp.NIn
+	}
+	myPos := make([][]int32, k) // positions I sampled, per owner partition
+	for j := 0; j < k; j++ {
+		if j == rank {
+			continue
+		}
+		full := t.Topo.Recv[rank][j]
+		var pos []int32
+		switch {
+		case t.Cfg.P >= 1:
+			pos = make([]int32, len(full))
+			for x := range pos {
+				pos[x] = int32(x)
+			}
+		case t.Cfg.P <= 0:
+			// nothing sampled
+		default:
+			for x := range full {
+				if rng.Float32() < p {
+					pos = append(pos, int32(x))
+				}
+			}
+		}
+		myPos[j] = pos
+		for _, x := range pos {
+			lp.active[lp.NIn+int(full[x])] = true
+			ws.sampledBd++
+		}
+	}
+	// Broadcast selections; build per-destination send row lists.
+	theirPos := make([][]int32, k)
+	if k > 1 {
+		for j := 0; j < k; j++ {
+			if j != rank {
+				w.SendI32(j, tagPositions, myPos[j])
+			}
+		}
+		for j := 0; j < k; j++ {
+			if j != rank {
+				theirPos[j] = w.RecvI32(j, tagPositions)
+			}
+		}
+	}
+	sendRows := make([][]int32, k) // inner local ids to send to j, per layer
+	for j := 0; j < k; j++ {
+		if j == rank {
+			continue
+		}
+		full := t.Topo.Send[rank][j]
+		rows := make([]int32, len(theirPos[j]))
+		for x, posIdx := range theirPos[j] {
+			rows[x] = full[posIdx]
+		}
+		sendRows[j] = rows
+	}
+	recvSlots := make([][]int32, k) // halo local ids I fill from j
+	for j := 0; j < k; j++ {
+		if j == rank {
+			continue
+		}
+		full := t.Topo.Recv[rank][j]
+		slots := make([]int32, len(myPos[j]))
+		for x, posIdx := range myPos[j] {
+			slots[x] = int32(lp.NIn) + full[posIdx]
+		}
+		recvSlots[j] = slots
+	}
+	eg := lp.epochGraph()
+	// Self-normalized mean estimator: sampled remote neighbors carry weight
+	// 1/p in the numerator (the received features arrive pre-scaled), and
+	// the normalizer is the matching effective degree
+	// |local| + (1/p)·|sampled remote|. At p=1 this is exactly the full
+	// degree; for p<1 the estimate is a convex combination of neighbor
+	// features, so sampling noise cannot blow up activations the way the
+	// unnormalized 1/p estimator does on low-degree nodes.
+	invDeg := lp.InvDeg // EstimatorHT: normalize by the full global degree
+	if t.Cfg.Estimator == EstimatorSelfNorm {
+		invDeg = make([]float32, lp.NIn)
+		for v := 0; v < lp.NIn; v++ {
+			row := eg.Neighbors(int32(v))
+			remote := float32(len(row) - int(lp.localNbrs[v]))
+			eff := float32(lp.localNbrs[v]) + invP*remote
+			if eff > 0 {
+				invDeg[v] = 1 / eff
+			}
+		}
+	}
+	ws.sample = time.Since(start)
+
+	// --- Forward (lines 8–11) ---
+	nLocal := lp.NIn + lp.NBd
+	hInner := lp.Features // inner activations entering the current layer
+	for l, layer := range model.LayersL {
+		dim := layer.InputDim()
+		x := tensor.New(nLocal, dim)
+		for v := 0; v < lp.NIn; v++ {
+			copy(x.Row(v), hInner.Row(v))
+		}
+		// Halo exchange for this layer.
+		cs := time.Now()
+		for j := 0; j < k; j++ {
+			if j == rank || len(sendRows[j]) == 0 {
+				continue
+			}
+			payload := tensor.GatherRows(hInner, sendRows[j])
+			w.SendF32(j, tagForward+l, payload.Data)
+			ws.commBytes += int64(4 * len(payload.Data))
+		}
+		for j := 0; j < k; j++ {
+			if j == rank || len(recvSlots[j]) == 0 {
+				continue
+			}
+			data := w.RecvF32(j, tagForward+l)
+			if len(data) != len(recvSlots[j])*dim {
+				panic(fmt.Sprintf("core: rank %d layer %d: got %d floats from %d, want %d",
+					rank, l, len(data), j, len(recvSlots[j])*dim))
+			}
+			for x2, slot := range recvSlots[j] {
+				dst := x.Row(int(slot))
+				src := data[x2*dim : (x2+1)*dim]
+				for c, v := range src {
+					dst[c] = v * invP // unbiased 1/p rescaling (Section 3.2)
+				}
+			}
+		}
+		ws.comm += time.Since(cs)
+
+		ps := time.Now()
+		xd := model.Dropouts[l].Forward(x, true)
+		hInner = layer.Forward(eg, xd, lp.NIn, invDeg)
+		ws.compute += time.Since(ps)
+	}
+
+	// --- Loss (line 12) ---
+	ls := time.Now()
+	loss, d := Loss(t.DS, hInner, lp.Labels, lp.LabelMatrix, lp.TrainMask, t.globalTrainCount)
+	ws.loss = loss
+	model.ZeroGrad()
+	ws.compute += time.Since(ls)
+
+	// --- Backward (line 13) ---
+	for l := len(model.LayersL) - 1; l >= 0; l-- {
+		bs := time.Now()
+		dx := model.LayersL[l].Backward(d)
+		dx = model.Dropouts[l].Backward(dx)
+		ws.compute += time.Since(bs)
+
+		dim := model.LayersL[l].InputDim()
+		if l == 0 {
+			// Input features need no gradient; skip the halo exchange.
+			break
+		}
+		cs := time.Now()
+		for j := 0; j < k; j++ {
+			if j == rank || len(recvSlots[j]) == 0 {
+				continue
+			}
+			payload := make([]float32, len(recvSlots[j])*dim)
+			for x2, slot := range recvSlots[j] {
+				src := dx.Row(int(slot))
+				dst := payload[x2*dim : (x2+1)*dim]
+				for c, v := range src {
+					dst[c] = v * invP // chain rule through the 1/p scaling
+				}
+			}
+			w.SendF32(j, tagBackward+l, payload)
+			ws.commBytes += int64(4 * len(payload))
+		}
+		// Next layer's output gradient: my inner rows plus remote halo grads.
+		dNext := tensor.New(lp.NIn, dim)
+		for v := 0; v < lp.NIn; v++ {
+			copy(dNext.Row(v), dx.Row(v))
+		}
+		for j := 0; j < k; j++ {
+			if j == rank || len(sendRows[j]) == 0 {
+				continue
+			}
+			data := w.RecvF32(j, tagBackward+l)
+			for x2, row := range sendRows[j] {
+				dst := dNext.Row(int(row))
+				src := data[x2*dim : (x2+1)*dim]
+				for c, v := range src {
+					dst[c] += v
+				}
+			}
+		}
+		ws.comm += time.Since(cs)
+		d = dNext
+	}
+
+	// --- Gradient AllReduce + update (lines 14–15) ---
+	rs := time.Now()
+	flat := nn.FlattenGrads(model.Layers(), nil)
+	w.AllReduceSum(flat, tagReduce)
+	nn.UnflattenGrads(model.Layers(), flat)
+	ws.reduceBytes = int64(4 * len(flat))
+	t.opts[rank].Step(model.Params(), model.Grads())
+	ws.red = time.Since(rs)
+	return ws
+}
+
+// Evaluate scores the trained model on the given global mask with exact
+// full-graph inference (the paper reports full-graph test accuracy).
+func (t *ParallelTrainer) Evaluate(mask []bool) float64 {
+	if t.evalTrainer == nil {
+		model, err := NewModel(t.Cfg.Model, t.DS.FeatureDim(), t.DS.NumClasses)
+		if err != nil {
+			panic(err)
+		}
+		t.evalModel = model
+		t.evalTrainer = &FullTrainer{DS: t.DS, Model: model, invDeg: nn.InvDegrees(t.DS.G)}
+	}
+	t.evalModel.CopyWeightsFrom(t.Models[0])
+	return t.evalTrainer.Evaluate(mask)
+}
+
+// Epoch returns the number of completed training epochs.
+func (t *ParallelTrainer) Epoch() int { return t.epoch }

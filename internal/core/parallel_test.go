@@ -1,0 +1,283 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/partition"
+)
+
+// testDataset is a small community graph used across core tests.
+func testDataset(t *testing.T, seed uint64) *datagen.Dataset {
+	t.Helper()
+	ds, err := datagen.Generate(datagen.Config{
+		Name: "core-test", Nodes: 600, Communities: 6, AvgDegree: 10,
+		IntraFrac: 0.8, DegreeSkew: 2.0, FeatureDim: 12,
+		FeatureSignal: 0.5, FeatureNoise: 1.0,
+		TrainFrac: 0.6, ValFrac: 0.2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func testTopology(t *testing.T, ds *datagen.Dataset, k int) *Topology {
+	t.Helper()
+	parts, err := (&partition.Metis{Seed: 1}).Partition(ds.G, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := BuildTopology(ds.G, parts, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func testModelConfig() ModelConfig {
+	return ModelConfig{Arch: ArchSAGE, Layers: 2, Hidden: 16, Dropout: 0, LR: 0.01, Seed: 42}
+}
+
+// TestParallelP1MatchesFullGraph is the central correctness property:
+// partition-parallel training with p=1 and no dropout is mathematically
+// identical to single-process full-graph training, for any partition count.
+func TestParallelP1MatchesFullGraph(t *testing.T) {
+	ds := testDataset(t, 1)
+	full, err := NewFullTrainer(ds, testModelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{2, 4} {
+		topo := testTopology(t, ds, k)
+		par, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: testModelConfig(), P: 1.0, SampleSeed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Fresh full trainer per k so optimizer state starts equal.
+		full, err = NewFullTrainer(ds, testModelConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for epoch := 0; epoch < 5; epoch++ {
+			fLoss := full.TrainEpoch()
+			stats := par.TrainEpoch()
+			if math.Abs(fLoss-stats.Loss) > 1e-3*(1+math.Abs(fLoss)) {
+				t.Fatalf("k=%d epoch %d: full loss %v vs parallel %v", k, epoch, fLoss, stats.Loss)
+			}
+		}
+		fAcc := full.Evaluate(ds.TestMask)
+		pAcc := par.Evaluate(ds.TestMask)
+		if math.Abs(fAcc-pAcc) > 0.02 {
+			t.Fatalf("k=%d: full acc %v vs parallel %v", k, fAcc, pAcc)
+		}
+	}
+}
+
+// TestCommBytesMatchEq3 checks the byte counters against Eq. 3 exactly:
+// per epoch at p=1, forward traffic is Vol·Σ_ℓ d_ℓ floats and backward
+// traffic is Vol·Σ_{ℓ≥1} d_ℓ floats.
+func TestCommBytesMatchEq3(t *testing.T) {
+	ds := testDataset(t, 2)
+	topo := testTopology(t, ds, 3)
+	cfg := testModelConfig()
+	par, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: cfg, P: 1.0, SampleSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := par.TrainEpoch()
+	vol := topo.CommVolume()
+	dims := par.Models[0].LayerInputDims()
+	var wantFloats int64
+	for l, d := range dims {
+		wantFloats += vol * int64(d) // forward layer l
+		if l >= 1 {
+			wantFloats += vol * int64(d) // backward layer l
+		}
+	}
+	if stats.CommBytes != 4*wantFloats {
+		t.Fatalf("comm bytes %d, want %d", stats.CommBytes, 4*wantFloats)
+	}
+}
+
+func TestP0HasNoFeatureTraffic(t *testing.T) {
+	ds := testDataset(t, 3)
+	topo := testTopology(t, ds, 3)
+	par, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: testModelConfig(), P: 0, SampleSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := par.TrainEpoch()
+	if stats.CommBytes != 0 {
+		t.Fatalf("p=0 sent %d feature bytes", stats.CommBytes)
+	}
+	for _, n := range stats.SampledBd {
+		if n != 0 {
+			t.Fatal("p=0 sampled boundary nodes")
+		}
+	}
+}
+
+func TestSampledBoundaryCountNearP(t *testing.T) {
+	ds := testDataset(t, 4)
+	topo := testTopology(t, ds, 4)
+	p := 0.3
+	par, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: testModelConfig(), P: p, SampleSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total, expect float64
+	for epoch := 0; epoch < 10; epoch++ {
+		stats := par.TrainEpoch()
+		for _, n := range stats.SampledBd {
+			total += float64(n)
+		}
+		expect += p * float64(topo.CommVolume())
+	}
+	if math.Abs(total-expect) > 0.15*expect {
+		t.Fatalf("sampled %v boundary nodes over 10 epochs, expected ~%v", total, expect)
+	}
+}
+
+func TestBNSTrainingReachesUsefulAccuracy(t *testing.T) {
+	ds := testDataset(t, 5)
+	topo := testTopology(t, ds, 3)
+	cfg := testModelConfig()
+	par, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: cfg, P: 0.25, SampleSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 40; epoch++ {
+		par.TrainEpoch()
+	}
+	acc := par.Evaluate(ds.TestMask)
+	if acc < 0.5 { // random would be 1/6
+		t.Fatalf("BNS p=0.25 accuracy %v too low", acc)
+	}
+}
+
+func TestParallelDeterministic(t *testing.T) {
+	ds := testDataset(t, 6)
+	topo := testTopology(t, ds, 3)
+	run := func() []float64 {
+		par, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var losses []float64
+		for epoch := 0; epoch < 3; epoch++ {
+			losses = append(losses, par.TrainEpoch().Loss)
+		}
+		return losses
+	}
+	a, b := run(), run()
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Fatalf("nondeterministic: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestLocalPartitionStructure(t *testing.T) {
+	ds := testDataset(t, 7)
+	topo := testTopology(t, ds, 4)
+	for i := 0; i < 4; i++ {
+		lp := NewLocalPartition(ds, topo, i)
+		if lp.NIn != len(topo.Inner[i]) || lp.NBd != len(topo.Boundary[i]) {
+			t.Fatalf("partition %d sizes wrong", i)
+		}
+		// Every inner node's local adjacency must reference valid local ids
+		// and correspond to a real global edge.
+		for v := 0; v < lp.NIn; v++ {
+			gv := lp.GlobalInner[v]
+			nbrs := lp.fullIndices[lp.fullIndptr[v]:lp.fullIndptr[v+1]]
+			if len(nbrs) != ds.G.Degree(gv) {
+				t.Fatalf("partition %d node %d: %d local nbrs, %d global", i, v, len(nbrs), ds.G.Degree(gv))
+			}
+			for _, u := range nbrs {
+				var gu int32
+				if int(u) < lp.NIn {
+					gu = lp.GlobalInner[u]
+				} else {
+					gu = lp.GlobalBoundary[int(u)-lp.NIn]
+				}
+				if !ds.G.HasEdge(gv, gu) {
+					t.Fatalf("phantom local edge %d-%d", gv, gu)
+				}
+			}
+		}
+	}
+}
+
+func TestEpochGraphFiltersInactive(t *testing.T) {
+	ds := testDataset(t, 8)
+	topo := testTopology(t, ds, 2)
+	lp := NewLocalPartition(ds, topo, 0)
+	// All active: full degree.
+	for i := range lp.active {
+		lp.active[i] = true
+	}
+	gFull := lp.epochGraph()
+	fullEdges := gFull.NumDirectedEdges()
+	// Only inner active: no halo edges remain.
+	for i := range lp.active {
+		lp.active[i] = i < lp.NIn
+	}
+	gInner := lp.epochGraph()
+	if gInner.NumDirectedEdges() >= fullEdges {
+		t.Fatal("filtering inactive halos did not drop edges")
+	}
+	for v := 0; v < lp.NIn; v++ {
+		for _, u := range gInner.Neighbors(int32(v)) {
+			if int(u) >= lp.NIn {
+				t.Fatal("inactive halo survived filtering")
+			}
+		}
+	}
+}
+
+func TestEvaluateUsesRankZeroWeights(t *testing.T) {
+	ds := testDataset(t, 9)
+	topo := testTopology(t, ds, 2)
+	par, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: testModelConfig(), P: 1, SampleSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := par.Evaluate(ds.ValMask)
+	for i := 0; i < 15; i++ {
+		par.TrainEpoch()
+	}
+	after := par.Evaluate(ds.ValMask)
+	if after <= before {
+		t.Fatalf("training did not improve val score: %v -> %v", before, after)
+	}
+}
+
+func TestParallelRejectsBadP(t *testing.T) {
+	ds := testDataset(t, 10)
+	topo := testTopology(t, ds, 2)
+	if _, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: testModelConfig(), P: 1.5}); err == nil {
+		t.Fatal("p>1 must be rejected")
+	}
+	if _, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: testModelConfig(), P: -0.1}); err == nil {
+		t.Fatal("p<0 must be rejected")
+	}
+}
+
+func TestGATParallelRuns(t *testing.T) {
+	ds := testDataset(t, 11)
+	topo := testTopology(t, ds, 2)
+	cfg := ModelConfig{Arch: ArchGAT, Layers: 2, Hidden: 8, Dropout: 0, LR: 0.01, Seed: 3}
+	par, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: cfg, P: 0.5, SampleSeed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last float64
+	for epoch := 0; epoch < 5; epoch++ {
+		last = par.TrainEpoch().Loss
+		if math.IsNaN(last) {
+			t.Fatal("GAT loss is NaN")
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/graph"
+)
+
+// pathGraph returns 0-1-2-3-4-5 split as {0,1,2} | {3,4,5}.
+func pathTopology(t *testing.T) *Topology {
+	t.Helper()
+	b := graph.NewBuilder(6)
+	for i := int32(0); i < 5; i++ {
+		b.AddEdge(i, i+1)
+	}
+	g := b.Build()
+	topo, err := BuildTopology(g, []int32{0, 0, 0, 1, 1, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func TestTopologyInnerSets(t *testing.T) {
+	topo := pathTopology(t)
+	if len(topo.Inner[0]) != 3 || len(topo.Inner[1]) != 3 {
+		t.Fatalf("inner sizes %d/%d", len(topo.Inner[0]), len(topo.Inner[1]))
+	}
+	if topo.Inner[0][0] != 0 || topo.Inner[1][0] != 3 {
+		t.Fatalf("inner contents %v %v", topo.Inner[0], topo.Inner[1])
+	}
+}
+
+func TestTopologyBoundarySets(t *testing.T) {
+	topo := pathTopology(t)
+	// Partition 0 needs node 3 (neighbor of 2); partition 1 needs node 2.
+	if len(topo.Boundary[0]) != 1 || topo.Boundary[0][0] != 3 {
+		t.Fatalf("boundary[0] = %v", topo.Boundary[0])
+	}
+	if len(topo.Boundary[1]) != 1 || topo.Boundary[1][0] != 2 {
+		t.Fatalf("boundary[1] = %v", topo.Boundary[1])
+	}
+	if topo.CommVolume() != 2 {
+		t.Fatalf("volume = %d", topo.CommVolume())
+	}
+}
+
+func TestTopologySendRecvAlignment(t *testing.T) {
+	topo := pathTopology(t)
+	// Partition 0 receives node 3 from partition 1 into halo slot 0;
+	// partition 1 must send its inner index of node 3 (which is 0).
+	if len(topo.Recv[0][1]) != 1 || topo.Recv[0][1][0] != 0 {
+		t.Fatalf("recv[0][1] = %v", topo.Recv[0][1])
+	}
+	if len(topo.Send[1][0]) != 1 || topo.Send[1][0][0] != 0 {
+		t.Fatalf("send[1][0] = %v", topo.Send[1][0])
+	}
+	// And symmetrically for node 2 (inner index 2 in partition 0).
+	if len(topo.Send[0][1]) != 1 || topo.Send[0][1][0] != 2 {
+		t.Fatalf("send[0][1] = %v", topo.Send[0][1])
+	}
+}
+
+func TestTopologyRejectsBadInput(t *testing.T) {
+	g := graph.NewBuilder(2).Build()
+	if _, err := BuildTopology(g, []int32{0}, 2); err == nil {
+		t.Fatal("short parts must error")
+	}
+	if _, err := BuildTopology(g, []int32{0, 7}, 2); err == nil {
+		t.Fatal("invalid part id must error")
+	}
+}
+
+// TestTopologyBoundaryIsExactlyRemoteNeighbors cross-checks boundary sets on
+// a generated graph against a brute-force recomputation.
+func TestTopologyBoundaryIsExactlyRemoteNeighbors(t *testing.T) {
+	ds, err := datagen.Generate(datagen.Config{
+		Name: "t", Nodes: 500, Communities: 5, AvgDegree: 8, IntraFrac: 0.7,
+		FeatureDim: 4, TrainFrac: 0.5, ValFrac: 0.2, Seed: 3, StructureOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]int32, ds.G.N)
+	for v := range parts {
+		parts[v] = int32(v % 4)
+	}
+	topo, err := BuildTopology(ds.G, parts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		want := map[int32]bool{}
+		for v := int32(0); v < int32(ds.G.N); v++ {
+			if parts[v] != int32(i) {
+				continue
+			}
+			for _, u := range ds.G.Neighbors(v) {
+				if parts[u] != int32(i) {
+					want[u] = true
+				}
+			}
+		}
+		if len(want) != len(topo.Boundary[i]) {
+			t.Fatalf("partition %d: %d boundary, want %d", i, len(topo.Boundary[i]), len(want))
+		}
+		for _, u := range topo.Boundary[i] {
+			if !want[u] {
+				t.Fatalf("partition %d: %d not a remote neighbor", i, u)
+			}
+		}
+	}
+	// Eq. 3 equals the sum of send-set sizes computed independently.
+	var sendTotal int64
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			sendTotal += int64(len(topo.Send[i][j]))
+		}
+	}
+	if sendTotal != topo.CommVolume() {
+		t.Fatalf("send total %d != volume %d", sendTotal, topo.CommVolume())
+	}
+}
+
+func TestMemoryCostFormula(t *testing.T) {
+	// Eq. 4: (3·nIn + nBd)·d floats per layer, 4 bytes each.
+	got := MemoryCost(100, 50, []int{10, 20})
+	want := int64((3*100+50)*10+(3*100+50)*20) * 4
+	if got != want {
+		t.Fatalf("memory cost %d, want %d", got, want)
+	}
+}
+
+func TestMemoryCostsScaleWithP(t *testing.T) {
+	topo := pathTopology(t)
+	full := topo.MemoryCosts([]int{8}, 1.0)
+	none := topo.MemoryCosts([]int{8}, 0.0)
+	for i := range full {
+		if full[i] <= none[i] {
+			t.Fatalf("partition %d: p=1 memory %d not above p=0 %d", i, full[i], none[i])
+		}
+	}
+}
+
+func TestBoundaryRatios(t *testing.T) {
+	topo := pathTopology(t)
+	r := topo.BoundaryRatios()
+	if r[0] != 1.0/3 || r[1] != 1.0/3 {
+		t.Fatalf("ratios %v", r)
+	}
+}

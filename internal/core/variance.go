@@ -1,0 +1,143 @@
+package core
+
+import (
+	"repro/internal/tensor"
+)
+
+// VarianceReport holds the empirical feature-approximation variance of one
+// sampling scheme, the quantity Table 2 and Appendix A bound analytically:
+// E‖Z̃ − Z‖²_F / |V|, where Z is the exact mean-aggregated feature matrix
+// over inner nodes and Z̃ its estimate under sampling with 1/p rescaling.
+type VarianceReport struct {
+	Scheme   string
+	P        float64
+	Trials   int
+	Variance float64 // E‖Z̃−Z‖²_F / |V|
+	Bound    float64 // analytic upper bound γ²·Σᵢ‖P_{Vi,Bi}‖²_F / (p·|V|)
+}
+
+// aggregateExact computes Z rows for partition i's inner nodes: the mean of
+// all neighbor features under global-degree normalization.
+func aggregateExact(t *Topology, feats *tensor.Matrix, i int) *tensor.Matrix {
+	inner := t.Inner[i]
+	z := tensor.New(len(inner), feats.Cols)
+	for li, v := range inner {
+		row := z.Row(li)
+		nbrs := t.G.Neighbors(v)
+		if len(nbrs) == 0 {
+			continue
+		}
+		for _, u := range nbrs {
+			for c, x := range feats.Row(int(u)) {
+				row[c] += x
+			}
+		}
+		s := 1 / float32(len(nbrs))
+		for c := range row {
+			row[c] *= s
+		}
+	}
+	return z
+}
+
+// aggregateSampled computes Z̃ for partition i given a keep mask over global
+// nodes: local neighbors always contribute; remote neighbors contribute
+// x/p when kept and 0 otherwise.
+func aggregateSampled(t *Topology, feats *tensor.Matrix, i int, keep []bool, p float64) *tensor.Matrix {
+	inner := t.Inner[i]
+	invP := float32(1 / p)
+	z := tensor.New(len(inner), feats.Cols)
+	for li, v := range inner {
+		row := z.Row(li)
+		nbrs := t.G.Neighbors(v)
+		if len(nbrs) == 0 {
+			continue
+		}
+		for _, u := range nbrs {
+			if t.Parts[u] == int32(i) {
+				for c, x := range feats.Row(int(u)) {
+					row[c] += x
+				}
+			} else if keep[u] {
+				for c, x := range feats.Row(int(u)) {
+					row[c] += x * invP
+				}
+			}
+		}
+		s := 1 / float32(len(nbrs))
+		for c := range row {
+			row[c] *= s
+		}
+	}
+	return z
+}
+
+// MeasureBNSVariance estimates the BNS feature-approximation variance
+// empirically over the given number of trials, and computes the analytic
+// Appendix A bound for comparison.
+func MeasureBNSVariance(t *Topology, feats *tensor.Matrix, p float64, trials int, seed uint64) VarianceReport {
+	rep := VarianceReport{Scheme: "BNS", P: p, Trials: trials}
+	if p <= 0 || p > 1 {
+		panic("core: variance measurement needs 0 < p <= 1")
+	}
+	rng := tensor.NewRNG(seed)
+
+	exact := make([]*tensor.Matrix, t.K)
+	for i := 0; i < t.K; i++ {
+		exact[i] = aggregateExact(t, feats, i)
+	}
+
+	keep := make([]bool, t.G.N)
+	var sumSq float64
+	for trial := 0; trial < trials; trial++ {
+		// Each partition samples its boundary set independently; a node may
+		// be kept by one partition and dropped by another. Sampling is per
+		// (partition, boundary node); reuse one keep mask per partition.
+		for i := 0; i < t.K; i++ {
+			for j := range keep {
+				keep[j] = false
+			}
+			for _, u := range t.Boundary[i] {
+				if rng.Float64() < p {
+					keep[u] = true
+				}
+			}
+			zt := aggregateSampled(t, feats, i, keep, p)
+			zt.Sub(exact[i])
+			n := zt.FrobeniusNorm()
+			sumSq += n * n
+		}
+	}
+	rep.Variance = sumSq / float64(trials) / float64(t.G.N)
+
+	// Analytic bound: γ² Σ_i ‖P_{Vi,Bi}‖²_F / (p |V|) with P the mean-
+	// aggregation operator (row v has entries 1/deg(v) at its neighbors).
+	var gamma2 float64
+	for v := 0; v < feats.Rows; v++ {
+		var s float64
+		for _, x := range feats.Row(v) {
+			s += float64(x) * float64(x)
+		}
+		if s > gamma2 {
+			gamma2 = s
+		}
+	}
+	var frob float64
+	for i := 0; i < t.K; i++ {
+		for _, v := range t.Inner[i] {
+			d := float64(t.G.Degree(v))
+			if d == 0 {
+				continue
+			}
+			remote := 0
+			for _, u := range t.G.Neighbors(v) {
+				if t.Parts[u] != int32(i) {
+					remote++
+				}
+			}
+			frob += float64(remote) / (d * d)
+		}
+	}
+	rep.Bound = gamma2 * frob / (p * float64(t.G.N))
+	return rep
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestVarianceDecreasesWithP(t *testing.T) {
+	ds := testDataset(t, 20)
+	topo := testTopology(t, ds, 4)
+	v01 := MeasureBNSVariance(topo, ds.Features, 0.1, 30, 1)
+	v05 := MeasureBNSVariance(topo, ds.Features, 0.5, 30, 1)
+	v10 := MeasureBNSVariance(topo, ds.Features, 1.0, 5, 1)
+	if !(v01.Variance > v05.Variance) {
+		t.Fatalf("variance not decreasing: p=0.1 %v, p=0.5 %v", v01.Variance, v05.Variance)
+	}
+	if v10.Variance > 1e-12 {
+		t.Fatalf("p=1 variance %v, want 0", v10.Variance)
+	}
+}
+
+func TestVarianceWithinBound(t *testing.T) {
+	ds := testDataset(t, 21)
+	topo := testTopology(t, ds, 4)
+	for _, p := range []float64{0.1, 0.3, 0.7} {
+		rep := MeasureBNSVariance(topo, ds.Features, p, 30, 2)
+		if rep.Variance > rep.Bound {
+			t.Fatalf("p=%v: empirical variance %v exceeds analytic bound %v", p, rep.Variance, rep.Bound)
+		}
+	}
+}
+
+func TestSampledAggregationUnbiased(t *testing.T) {
+	// The mean of Z̃ over many independent trials must converge to Z.
+	ds := testDataset(t, 22)
+	topo := testTopology(t, ds, 3)
+	p := 0.4
+	rng := tensor.NewRNG(3)
+	i := 0
+	exact := aggregateExact(topo, ds.Features, i)
+	mean := tensor.New(exact.Rows, exact.Cols)
+	const trials = 400
+	keep := make([]bool, ds.G.N)
+	for trial := 0; trial < trials; trial++ {
+		for j := range keep {
+			keep[j] = false
+		}
+		for _, u := range topo.Boundary[i] {
+			if rng.Float64() < p {
+				keep[u] = true
+			}
+		}
+		zt := aggregateSampled(topo, ds.Features, i, keep, p)
+		mean.Add(zt)
+	}
+	mean.Scale(1.0 / trials)
+	mean.Sub(exact)
+	// Relative error of the empirical mean shrinks as 1/sqrt(trials).
+	rel := mean.FrobeniusNorm() / (exact.FrobeniusNorm() + 1e-12)
+	if rel > 0.1 {
+		t.Fatalf("sampled aggregation biased: relative error %v", rel)
+	}
+}
+
+func TestVarianceReportFields(t *testing.T) {
+	ds := testDataset(t, 23)
+	topo := testTopology(t, ds, 2)
+	rep := MeasureBNSVariance(topo, ds.Features, 0.5, 5, 9)
+	if rep.Scheme != "BNS" || rep.P != 0.5 || rep.Trials != 5 {
+		t.Fatalf("report fields %+v", rep)
+	}
+	if rep.Bound <= 0 {
+		t.Fatal("bound must be positive for a partitioned graph")
+	}
+}

@@ -1,0 +1,282 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func smallConfig(seed uint64) Config {
+	return Config{
+		Name:          "test",
+		Nodes:         800,
+		Communities:   8,
+		AvgDegree:     12,
+		IntraFrac:     0.8,
+		DegreeSkew:    2.0,
+		FeatureDim:    16,
+		FeatureSignal: 0.5,
+		FeatureNoise:  1.0,
+		TrainFrac:     0.6,
+		ValFrac:       0.2,
+		Seed:          seed,
+	}
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	ds, err := Generate(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.G.N != 800 {
+		t.Fatalf("N = %d", ds.G.N)
+	}
+	if err := ds.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if ds.Features.Rows != 800 || ds.Features.Cols != 16 {
+		t.Fatalf("features %dx%d", ds.Features.Rows, ds.Features.Cols)
+	}
+	if len(ds.Labels) != 800 {
+		t.Fatalf("labels %d", len(ds.Labels))
+	}
+	for _, l := range ds.Labels {
+		if l < 0 || int(l) >= ds.NumClasses {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.NumEdges() != b.G.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	if !a.Features.Equal(b.Features, 0) {
+		t.Fatal("same seed produced different features")
+	}
+	c, err := Generate(smallConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.G.NumEdges() == c.G.NumEdges() && a.Features.Equal(c.Features, 0) {
+		t.Fatal("different seeds produced identical dataset")
+	}
+}
+
+func TestSplitMasksPartition(t *testing.T) {
+	ds, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < ds.G.N; v++ {
+		n := 0
+		if ds.TrainMask[v] {
+			n++
+		}
+		if ds.ValMask[v] {
+			n++
+		}
+		if ds.TestMask[v] {
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("node %d in %d splits", v, n)
+		}
+	}
+	nTrain := CountMask(ds.TrainMask)
+	if nTrain < 440 || nTrain > 520 {
+		t.Fatalf("train count %d far from 60%% of 800", nTrain)
+	}
+}
+
+func TestAvgDegreeNearTarget(t *testing.T) {
+	ds, err := Generate(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dedupe and self-loop removal lose some edges; expect within 40%.
+	if d := ds.G.AvgDegree(); d < 7 || d > 13 {
+		t.Fatalf("avg degree %v, target 12", d)
+	}
+}
+
+func TestCommunityStructureExists(t *testing.T) {
+	// With IntraFrac=0.8 most edges must join same-label endpoints.
+	ds, err := Generate(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra, total := 0, 0
+	for v := int32(0); v < int32(ds.G.N); v++ {
+		for _, u := range ds.G.Neighbors(v) {
+			if u > v {
+				total++
+				if ds.Labels[u] == ds.Labels[v] {
+					intra++
+				}
+			}
+		}
+	}
+	frac := float64(intra) / float64(total)
+	if frac < 0.6 {
+		t.Fatalf("intra-community edge fraction %v, want >0.6", frac)
+	}
+}
+
+func TestFeaturesClassCorrelated(t *testing.T) {
+	ds, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean distance to own class centroid must be below mean distance to a
+	// different class centroid (in expectation over nodes).
+	d := ds.FeatureDim()
+	centroids := tensor.New(ds.NumClasses, d)
+	counts := make([]int, ds.NumClasses)
+	for v := 0; v < ds.G.N; v++ {
+		c := int(ds.Labels[v])
+		row := centroids.Row(c)
+		for j, x := range ds.Features.Row(v) {
+			row[j] += x
+		}
+		counts[c]++
+	}
+	for c := 0; c < ds.NumClasses; c++ {
+		row := centroids.Row(c)
+		for j := range row {
+			row[j] /= float32(counts[c])
+		}
+	}
+	var own, other float64
+	for v := 0; v < ds.G.N; v++ {
+		c := int(ds.Labels[v])
+		oc := (c + 1) % ds.NumClasses
+		own += dist(ds.Features.Row(v), centroids.Row(c))
+		other += dist(ds.Features.Row(v), centroids.Row(oc))
+	}
+	if own >= other {
+		t.Fatalf("features not class-correlated: own %v >= other %v", own, other)
+	}
+}
+
+func dist(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i] - b[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestDegreeSkewProducesHubs(t *testing.T) {
+	cfg := smallConfig(6)
+	cfg.DegreeSkew = 1.2
+	cfg.Nodes = 2000
+	cfg.AvgDegree = 10
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.G.MaxDegree() < 4*int(ds.G.AvgDegree()) {
+		t.Fatalf("max degree %d not hub-like vs avg %v", ds.G.MaxDegree(), ds.G.AvgDegree())
+	}
+}
+
+func TestMultiLabelGeneration(t *testing.T) {
+	cfg := smallConfig(7)
+	cfg.MultiLabel = true
+	cfg.LabelsPerNode = 3
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.LabelMatrix == nil || ds.Labels != nil {
+		t.Fatal("multi-label dataset must use LabelMatrix")
+	}
+	if ds.LabelMatrix.Rows != cfg.Nodes || ds.LabelMatrix.Cols != cfg.Communities {
+		t.Fatalf("label matrix %dx%d", ds.LabelMatrix.Rows, ds.LabelMatrix.Cols)
+	}
+	var active float64
+	for _, v := range ds.LabelMatrix.Data {
+		if v != 0 && v != 1 {
+			t.Fatalf("label value %v not binary", v)
+		}
+		active += float64(v)
+	}
+	perNode := active / float64(cfg.Nodes)
+	if perNode < 1.5 || perNode > 5 {
+		t.Fatalf("avg active labels per node = %v, want near 3", perNode)
+	}
+}
+
+func TestStructureOnlySkipsFeatures(t *testing.T) {
+	cfg := smallConfig(8)
+	cfg.StructureOnly = true
+	ds, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Features.Rows != 0 {
+		t.Fatal("structure-only must not materialize features")
+	}
+	if err := ds.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []Config{
+		{Nodes: 0, Communities: 1},
+		{Nodes: 10, Communities: 0},
+		{Nodes: 10, Communities: 20},
+		{Nodes: 10, Communities: 2, TrainFrac: 0.8, ValFrac: 0.4},
+		{Nodes: 10, Communities: 2, IntraFrac: 1.5},
+	}
+	for i, c := range bad {
+		if _, err := Generate(c); err == nil {
+			t.Fatalf("config %d should be rejected", i)
+		}
+	}
+}
+
+func TestPresetsGenerate(t *testing.T) {
+	for _, cfg := range []Config{RedditSim(1, 1), ProductsSim(1, 1), YelpSim(1, 1)} {
+		ds, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if err := ds.G.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if ds.G.N != cfg.Nodes {
+			t.Fatalf("%s: N=%d want %d", cfg.Name, ds.G.N, cfg.Nodes)
+		}
+	}
+}
+
+func TestPresetScaleMultipliesNodes(t *testing.T) {
+	if RedditSim(2, 1).Nodes != 2*RedditSim(1, 1).Nodes {
+		t.Fatal("scale must multiply node count")
+	}
+	if RedditSim(0, 1).Nodes != RedditSim(1, 1).Nodes {
+		t.Fatal("scale 0 must default to 1")
+	}
+}
+
+func TestYelpPresetIsMultiLabel(t *testing.T) {
+	if !YelpSim(1, 1).MultiLabel {
+		t.Fatal("yelp-sim must be multi-label")
+	}
+	if !Papers100MSim(1, 1).StructureOnly {
+		t.Fatal("papers100m-sim must be structure-only")
+	}
+}

@@ -1,0 +1,101 @@
+package datagen
+
+// Preset dataset configurations. Each mirrors one of the paper's Table 3
+// datasets, scaled so CPU training finishes in seconds-to-minutes while
+// preserving the properties the experiments measure: Reddit-sim is dense
+// with strong communities (the paper's Reddit has average degree 984);
+// products-sim is sparser with a tiny train split (paper: 8% train, 90%
+// test — the overfitting study of Figure 7 relies on this); yelp-sim is
+// multi-label; papers100m-sim is structure-only with heavy degree skew for
+// the partition-statistics experiments (Figures 3 and 8, Table 6).
+//
+// The `scale` parameter multiplies node counts: 1 is the default used by
+// unit tests and examples; the benchmark harness uses larger scales.
+
+// RedditSim mirrors Reddit: dense, community-heavy, inductive 0.66/0.10/0.24.
+func RedditSim(scale int, seed uint64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Config{
+		Name:          "reddit-sim",
+		Nodes:         2500 * scale,
+		Communities:   32,
+		AvgDegree:     24,
+		IntraFrac:     0.65,
+		DegreeSkew:    2.0,
+		FeatureDim:    48,
+		FeatureSignal: 0.14,
+		FeatureNoise:  1.0,
+		TrainFrac:     0.66,
+		ValFrac:       0.10,
+		Seed:          seed,
+	}
+}
+
+// ProductsSim mirrors ogbn-products: sparser, tiny train fraction
+// (0.08/0.02/0.90) so models can overfit the train split.
+func ProductsSim(scale int, seed uint64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Config{
+		Name:          "products-sim",
+		Nodes:         6000 * scale,
+		Communities:   16,
+		AvgDegree:     24,
+		IntraFrac:     0.65,
+		DegreeSkew:    1.8,
+		FeatureDim:    32,
+		FeatureSignal: 0.14,
+		FeatureNoise:  1.0,
+		TrainFrac:     0.15,
+		ValFrac:       0.05,
+		Seed:          seed,
+	}
+}
+
+// YelpSim mirrors Yelp: multi-label with 0.75/0.10/0.15 splits.
+func YelpSim(scale int, seed uint64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Config{
+		Name:          "yelp-sim",
+		Nodes:         3000 * scale,
+		Communities:   16,
+		AvgDegree:     20,
+		IntraFrac:     0.65,
+		DegreeSkew:    1.8,
+		FeatureDim:    64,
+		FeatureSignal: 0.20,
+		FeatureNoise:  1.0,
+		MultiLabel:    true,
+		LabelsPerNode: 3,
+		TrainFrac:     0.75,
+		ValFrac:       0.10,
+		Seed:          seed,
+	}
+}
+
+// Papers100MSim mirrors ogbn-papers100M for partition-structure experiments
+// only (no features): strong degree skew so a few partitions become memory
+// stragglers under 192-way partitioning, as in Figures 3 and 8.
+func Papers100MSim(scale int, seed uint64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Config{
+		Name:          "papers100m-sim",
+		Nodes:         60000 * scale,
+		Communities:   192,
+		AvgDegree:     14,
+		IntraFrac:     0.55,
+		DegreeSkew:    1.3,
+		FeatureDim:    128,
+		TrainFrac:     0.78,
+		ValFrac:       0.08,
+		Seed:          seed,
+		StructureOnly: true,
+	}
+}

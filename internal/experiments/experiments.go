@@ -1,0 +1,237 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section 4 and Appendices B–E) on the synthetic
+// datasets, printing rows/series in the same shape the paper reports.
+// cmd/bnsbench dispatches into this package; bench_test.go wraps each
+// experiment in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/metrics"
+	"repro/internal/partition"
+)
+
+// Options control experiment size so the same code serves quick benchmark
+// runs and the full EXPERIMENTS.md regeneration.
+type Options struct {
+	// Scale multiplies dataset node counts (presets are sized for a 2-core
+	// CPU budget at Scale=1).
+	Scale int
+	// Epochs overrides each experiment's default epoch count when > 0.
+	Epochs int
+	// Runs is the number of repeated runs for mean±std columns (default 1).
+	Runs int
+	// Quick truncates every experiment to a few epochs — used by benchmarks
+	// to exercise the full code path cheaply.
+	Quick bool
+	// Seed is the master seed; all randomness derives from it.
+	Seed uint64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 20220322 // BNS-GCN arXiv date
+	}
+	return o
+}
+
+func (o Options) epochs(def int) int {
+	if o.Quick {
+		return 3
+	}
+	if o.Epochs > 0 {
+		return o.Epochs
+	}
+	return def
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, o Options) error
+}
+
+var registry []Runner
+
+func register(id, title string, run func(w io.Writer, o Options) error) {
+	registry = append(registry, Runner{ID: id, Title: title, Run: run})
+}
+
+// Registry returns all experiments in paper order.
+func Registry() []Runner {
+	out := append([]Runner(nil), registry...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by id.
+func Lookup(id string) (Runner, bool) {
+	for _, r := range registry {
+		if r.ID == id {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// dataSpec couples a dataset generator with the paper's per-dataset model
+// hyperparameters (Section 4 "Models"), scaled down in width.
+type dataSpec struct {
+	key    string
+	gen    func(scale int, seed uint64) datagen.Config
+	model  core.ModelConfig
+	epochs int
+	parts  []int // partition counts used in the paper's figures
+}
+
+func redditSpec() dataSpec {
+	return dataSpec{
+		key: "reddit", gen: datagen.RedditSim,
+		model:  core.ModelConfig{Arch: core.ArchSAGE, Layers: 4, Hidden: 32, Dropout: 0.2, LR: 0.01, Seed: 1},
+		epochs: 120,
+		parts:  []int{2, 4, 8},
+	}
+}
+
+func productsSpec() dataSpec {
+	return dataSpec{
+		key: "products", gen: datagen.ProductsSim,
+		model:  core.ModelConfig{Arch: core.ArchSAGE, Layers: 3, Hidden: 32, Dropout: 0.15, LR: 0.005, Seed: 1},
+		epochs: 150,
+		parts:  []int{5, 8, 10},
+	}
+}
+
+func yelpSpec() dataSpec {
+	return dataSpec{
+		key: "yelp", gen: datagen.YelpSim,
+		model:  core.ModelConfig{Arch: core.ArchSAGE, Layers: 4, Hidden: 32, Dropout: 0.1, LR: 0.003, Seed: 1},
+		epochs: 120,
+		parts:  []int{3, 6, 10},
+	}
+}
+
+func allSpecs() []dataSpec { return []dataSpec{redditSpec(), productsSpec(), yelpSpec()} }
+
+// Dataset cache: experiments within one process share generated datasets and
+// partitions.
+var (
+	dsMu    sync.Mutex
+	dsCache = map[string]*datagen.Dataset{}
+	ptCache = map[string][]int32{}
+)
+
+func dataset(spec dataSpec, o Options) (*datagen.Dataset, error) {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	key := fmt.Sprintf("%s/%d/%d", spec.key, o.Scale, o.Seed)
+	if ds, ok := dsCache[key]; ok {
+		return ds, nil
+	}
+	ds, err := datagen.Generate(spec.gen(o.Scale, o.Seed))
+	if err != nil {
+		return nil, err
+	}
+	dsCache[key] = ds
+	return ds, nil
+}
+
+// partitionFor returns a cached partition assignment.
+func partitionFor(ds *datagen.Dataset, k int, method string, seed uint64) ([]int32, error) {
+	dsMu.Lock()
+	defer dsMu.Unlock()
+	key := fmt.Sprintf("%s/%d/%d/%s/%d", ds.Name, ds.G.N, k, method, seed)
+	if p, ok := ptCache[key]; ok {
+		return p, nil
+	}
+	var pt partition.Partitioner
+	switch method {
+	case "metis":
+		pt = &partition.Metis{Seed: seed}
+	case "random":
+		pt = &partition.Random{Seed: seed}
+	default:
+		return nil, fmt.Errorf("experiments: unknown partitioner %q", method)
+	}
+	parts, err := pt.Partition(ds.G, k)
+	if err != nil {
+		return nil, err
+	}
+	ptCache[key] = parts
+	return parts, nil
+}
+
+func topology(ds *datagen.Dataset, k int, method string, seed uint64) (*core.Topology, error) {
+	parts, err := partitionFor(ds, k, method, seed)
+	if err != nil {
+		return nil, err
+	}
+	return core.BuildTopology(ds.G, parts, k)
+}
+
+// bnsResult summarizes one BNS training run.
+type bnsResult struct {
+	TestScore float64
+	Curve     metrics.Curve
+	// Aggregates over all epochs.
+	AvgStats core.EpochStats
+	Epochs   int
+	Topo     *core.Topology
+	Trainer  *core.ParallelTrainer
+}
+
+// trainBNS runs BNS-GCN end to end and returns the result. evalEvery=0
+// evaluates only at the end.
+func trainBNS(ds *datagen.Dataset, topo *core.Topology, model core.ModelConfig, p float64, epochs, evalEvery int, seed uint64) (*bnsResult, error) {
+	model.Seed = seed
+	tr, err := core.NewParallelTrainer(ds, topo, core.ParallelConfig{Model: model, P: p, SampleSeed: seed + 1})
+	if err != nil {
+		return nil, err
+	}
+	res := &bnsResult{Topo: topo, Epochs: epochs, Trainer: tr}
+	for e := 1; e <= epochs; e++ {
+		st := tr.TrainEpoch()
+		res.AvgStats.Loss += st.Loss
+		res.AvgStats.SampleTime += st.SampleTime
+		res.AvgStats.ComputeTime += st.ComputeTime
+		res.AvgStats.CommTime += st.CommTime
+		res.AvgStats.ReduceTime += st.ReduceTime
+		res.AvgStats.CommBytes += st.CommBytes
+		res.AvgStats.ReduceBytes += st.ReduceBytes
+		if evalEvery > 0 && e%evalEvery == 0 {
+			res.Curve.Add(e, tr.Evaluate(ds.TestMask))
+		}
+	}
+	n := int64(epochs)
+	res.AvgStats.Loss /= float64(n)
+	res.AvgStats.SampleTime /= time.Duration(n)
+	res.AvgStats.ComputeTime /= time.Duration(n)
+	res.AvgStats.CommTime /= time.Duration(n)
+	res.AvgStats.ReduceTime /= time.Duration(n)
+	res.AvgStats.CommBytes /= n
+	res.AvgStats.ReduceBytes /= n
+	res.TestScore = tr.Evaluate(ds.TestMask)
+	return res, nil
+}
+
+// newTabWriter returns a standard table writer for experiment output.
+func newTabWriter(w io.Writer) *tabwriter.Writer {
+	return tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

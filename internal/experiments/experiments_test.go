@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every table and figure of the paper's evaluation must be registered.
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"table8", "table9", "table10", "table11", "table12", "table13",
+		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"ablation1",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+	}
+	if len(Registry()) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry()), len(want))
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("table99"); ok {
+		t.Fatal("unknown id must not resolve")
+	}
+}
+
+func TestRegistryTitlesNonEmpty(t *testing.T) {
+	for _, r := range Registry() {
+		if r.Title == "" || r.Run == nil {
+			t.Fatalf("experiment %q incomplete", r.ID)
+		}
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != 1 || o.Runs != 1 || o.Seed == 0 {
+		t.Fatalf("defaults %+v", o)
+	}
+	if (Options{Quick: true}).epochs(500) != 3 {
+		t.Fatal("quick mode must truncate epochs")
+	}
+	if (Options{Epochs: 7}).epochs(500) != 7 {
+		t.Fatal("epoch override ignored")
+	}
+	if (Options{}).epochs(500) != 500 {
+		t.Fatal("default epochs ignored")
+	}
+}
+
+// TestStructuralExperimentsRun runs the no-training experiments end to end
+// in quick mode and sanity-checks their output.
+func TestStructuralExperimentsRun(t *testing.T) {
+	cases := map[string]string{
+		"table1": "Ratio",
+		"table3": "reddit-sim",
+		"fig3":   "straggler",
+		"fig8":   "median",
+		"fig5":   "comm share",
+		"fig6":   "p=0.1",
+		"table6": "BNS-GCN",
+		"table8": "partitioner",
+	}
+	for id, needle := range cases {
+		r, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		var buf bytes.Buffer
+		if err := r.Run(&buf, Options{Quick: true}); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(buf.String(), needle) {
+			t.Fatalf("%s output missing %q:\n%s", id, needle, buf.String())
+		}
+	}
+}
+
+// TestTable2OrderingHolds is the variance experiment's headline claim as a
+// unit test: BNS variance below LADIES-style below FastGCN-style.
+func TestTable2OrderingHolds(t *testing.T) {
+	var buf bytes.Buffer
+	r, _ := Lookup("table2")
+	if err := r.Run(&buf, Options{Quick: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "BNS") {
+		t.Fatalf("unexpected output: %s", out)
+	}
+	// Parse the p=0.50 row: p, bns, ladies, fastgcn, bound.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "0.50") {
+			continue
+		}
+		var p, bns, ladies, fastgcn, bound float64
+		if _, err := fmtSscan(line, &p, &bns, &ladies, &fastgcn, &bound); err != nil {
+			t.Fatalf("cannot parse %q: %v", line, err)
+		}
+		if !(bns < ladies && ladies < fastgcn) {
+			t.Fatalf("variance ordering violated: bns=%v ladies=%v fastgcn=%v", bns, ladies, fastgcn)
+		}
+		if bns > bound {
+			t.Fatalf("bns variance %v above bound %v", bns, bound)
+		}
+		return
+	}
+	t.Fatal("p=0.50 row not found")
+}
+
+// fmtSscan wraps fmt.Sscan to keep the test import list tidy.
+func fmtSscan(line string, args ...any) (int, error) {
+	return sscan(line, args...)
+}

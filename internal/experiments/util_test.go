@@ -1,0 +1,8 @@
+package experiments
+
+import "fmt"
+
+// sscan parses whitespace-separated values from a line.
+func sscan(line string, args ...any) (int, error) {
+	return fmt.Sscan(line, args...)
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary graph format: a small magic header followed by N, the indptr array
+// and the indices array, all little-endian. Used by cmd/bnspart and the
+// benchmark harness to cache generated graphs between runs.
+
+const magic = uint32(0x42534743) // "BSGC"
+
+// Write serializes g to w in the binary CSR format.
+func Write(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, magic); err != nil {
+		return fmt.Errorf("graph: write magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(g.N)); err != nil {
+		return fmt.Errorf("graph: write n: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(g.Indices))); err != nil {
+		return fmt.Errorf("graph: write nnz: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Indptr); err != nil {
+		return fmt.Errorf("graph: write indptr: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Indices); err != nil {
+		return fmt.Errorf("graph: write indices: %w", err)
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a graph written by Write.
+func Read(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	var m uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("graph: read magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("graph: bad magic %#x", m)
+	}
+	var n, nnz int64
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("graph: read n: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &nnz); err != nil {
+		return nil, fmt.Errorf("graph: read nnz: %w", err)
+	}
+	if n < 0 || nnz < 0 {
+		return nil, fmt.Errorf("graph: negative sizes n=%d nnz=%d", n, nnz)
+	}
+	g := &Graph{N: int(n), Indptr: make([]int64, n+1), Indices: make([]int32, nnz)}
+	if err := binary.Read(br, binary.LittleEndian, g.Indptr); err != nil {
+		return nil, fmt.Errorf("graph: read indptr: %w", err)
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Indices); err != nil {
+		return nil, fmt.Errorf("graph: read indices: %w", err)
+	}
+	return g, nil
+}
+
+// SaveFile writes g to path, creating or truncating it.
+func SaveFile(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from path.
+func LoadFile(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

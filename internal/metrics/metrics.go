@@ -1,0 +1,104 @@
+// Package metrics computes the evaluation scores the paper reports: test
+// accuracy for Reddit/ogbn-products and micro-F1 for Yelp, plus a
+// convergence recorder used by the Figure 7/9 experiments.
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Accuracy returns the fraction of masked rows whose argmax logit equals the
+// label. Returns 0 when the mask is empty.
+func Accuracy(logits *tensor.Matrix, labels []int32, mask []bool) float64 {
+	if len(labels) < logits.Rows || len(mask) < logits.Rows {
+		panic(fmt.Sprintf("metrics: need %d labels/mask, have %d/%d", logits.Rows, len(labels), len(mask)))
+	}
+	correct, total := 0, 0
+	for i := 0; i < logits.Rows; i++ {
+		if !mask[i] {
+			continue
+		}
+		total++
+		row := logits.Row(i)
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		if int32(best) == labels[i] {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// MicroF1 computes the micro-averaged F1 score over masked rows of a
+// multi-label problem: a label is predicted positive when its logit > 0
+// (sigmoid > 0.5). Returns 0 when there are no positives at all.
+func MicroF1(logits, targets *tensor.Matrix, mask []bool) float64 {
+	if logits.Rows != targets.Rows || logits.Cols != targets.Cols {
+		panic(fmt.Sprintf("metrics: shape mismatch %dx%d vs %dx%d", logits.Rows, logits.Cols, targets.Rows, targets.Cols))
+	}
+	var tp, fp, fn float64
+	for i := 0; i < logits.Rows; i++ {
+		if !mask[i] {
+			continue
+		}
+		lrow, trow := logits.Row(i), targets.Row(i)
+		for j, x := range lrow {
+			pred := x > 0
+			actual := trow[j] > 0.5
+			switch {
+			case pred && actual:
+				tp++
+			case pred && !actual:
+				fp++
+			case !pred && actual:
+				fn++
+			}
+		}
+	}
+	denom := 2*tp + fp + fn
+	if denom == 0 {
+		return 0
+	}
+	return 2 * tp / denom
+}
+
+// Curve records a score per epoch for convergence plots.
+type Curve struct {
+	Name   string
+	Epochs []int
+	Values []float64
+}
+
+// Add appends one (epoch, value) observation.
+func (c *Curve) Add(epoch int, value float64) {
+	c.Epochs = append(c.Epochs, epoch)
+	c.Values = append(c.Values, value)
+}
+
+// Best returns the maximum recorded value, or 0 if empty.
+func (c *Curve) Best() float64 {
+	best := 0.0
+	for _, v := range c.Values {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Final returns the last recorded value, or 0 if empty.
+func (c *Curve) Final() float64 {
+	if len(c.Values) == 0 {
+		return 0
+	}
+	return c.Values[len(c.Values)-1]
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAccuracyBasic(t *testing.T) {
+	logits := tensor.NewFrom(3, 2, []float32{
+		2, 1, // pred 0
+		0, 5, // pred 1
+		3, 4, // pred 1
+	})
+	labels := []int32{0, 1, 0}
+	got := Accuracy(logits, labels, []bool{true, true, true})
+	if math.Abs(got-2.0/3) > 1e-9 {
+		t.Fatalf("accuracy = %v", got)
+	}
+}
+
+func TestAccuracyRespectsMask(t *testing.T) {
+	logits := tensor.NewFrom(2, 2, []float32{2, 1, 0, 5})
+	labels := []int32{1, 1} // row 0 wrong, row 1 right
+	if got := Accuracy(logits, labels, []bool{false, true}); got != 1 {
+		t.Fatalf("masked accuracy = %v", got)
+	}
+	if got := Accuracy(logits, labels, []bool{false, false}); got != 0 {
+		t.Fatalf("empty mask accuracy = %v", got)
+	}
+}
+
+func TestMicroF1Perfect(t *testing.T) {
+	logits := tensor.NewFrom(2, 3, []float32{5, -5, 5, -5, 5, -5})
+	targets := tensor.NewFrom(2, 3, []float32{1, 0, 1, 0, 1, 0})
+	if got := MicroF1(logits, targets, []bool{true, true}); got != 1 {
+		t.Fatalf("perfect F1 = %v", got)
+	}
+}
+
+func TestMicroF1KnownValue(t *testing.T) {
+	// tp=1 (pred+ actual+), fp=1 (pred+ actual-), fn=1 (pred- actual+).
+	logits := tensor.NewFrom(1, 3, []float32{5, 5, -5})
+	targets := tensor.NewFrom(1, 3, []float32{1, 0, 1})
+	got := MicroF1(logits, targets, []bool{true})
+	want := 2.0 * 1 / (2*1 + 1 + 1)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("F1 = %v, want %v", got, want)
+	}
+}
+
+func TestMicroF1EmptyIsZero(t *testing.T) {
+	logits := tensor.NewFrom(1, 2, []float32{-1, -1})
+	targets := tensor.New(1, 2)
+	if got := MicroF1(logits, targets, []bool{true}); got != 0 {
+		t.Fatalf("no-positive F1 = %v", got)
+	}
+}
+
+func TestCurve(t *testing.T) {
+	var c Curve
+	if c.Best() != 0 || c.Final() != 0 {
+		t.Fatal("empty curve must report 0")
+	}
+	c.Add(1, 0.5)
+	c.Add(2, 0.9)
+	c.Add(3, 0.7)
+	if c.Best() != 0.9 || c.Final() != 0.7 {
+		t.Fatalf("best=%v final=%v", c.Best(), c.Final())
+	}
+	if len(c.Epochs) != 3 {
+		t.Fatal("epochs not recorded")
+	}
+}

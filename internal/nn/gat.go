@@ -1,0 +1,236 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// GATConv is a single-head graph attention layer (Veličković et al., 2017),
+// used by the paper's Table 10 to show BNS-GCN generalizes beyond
+// GraphSAGE:
+//
+//	e_vu = LeakyReLU(a₁·(W h_v) + a₂·(W h_u))   for u ∈ N(v) ∪ {v}
+//	α_v· = softmax(e_v·)
+//	z_v  = σ( Σ_u α_vu (W h_u) )
+//
+// Self-attention is always included so isolated nodes still produce output.
+type GATConv struct {
+	InDim, OutDim int
+	Act           Activation
+	NegSlope      float32 // LeakyReLU slope; default 0.2
+
+	W   *tensor.Matrix // InDim × OutDim
+	A1  *tensor.Matrix // 1 × OutDim (attention on destination v)
+	A2  *tensor.Matrix // 1 × OutDim (attention on source u)
+	DW  *tensor.Matrix
+	DA1 *tensor.Matrix
+	DA2 *tensor.Matrix
+
+	// Caches.
+	g     *graph.Graph
+	nOut  int
+	nAll  int
+	h     *tensor.Matrix
+	wh    *tensor.Matrix // nAll × OutDim
+	alpha [][]float32    // per output node: attention over (self + neighbors)
+	eRaw  [][]float32    // pre-LeakyReLU attention logits
+	pre   *tensor.Matrix
+}
+
+// NewGATConv creates a single-head GAT layer with Xavier initialization.
+func NewGATConv(inDim, outDim int, act Activation, rng *tensor.RNG) *GATConv {
+	l := &GATConv{
+		InDim:    inDim,
+		OutDim:   outDim,
+		Act:      act,
+		NegSlope: 0.2,
+		W:        tensor.New(inDim, outDim),
+		A1:       tensor.New(1, outDim),
+		A2:       tensor.New(1, outDim),
+		DW:       tensor.New(inDim, outDim),
+		DA1:      tensor.New(1, outDim),
+		DA2:      tensor.New(1, outDim),
+	}
+	tensor.XavierInit(l.W, inDim, outDim, rng)
+	tensor.XavierInit(l.A1, outDim, 1, rng)
+	tensor.XavierInit(l.A2, outDim, 1, rng)
+	return l
+}
+
+// Params implements Layer.
+func (l *GATConv) Params() []*tensor.Matrix { return []*tensor.Matrix{l.W, l.A1, l.A2} }
+
+// Grads implements Layer.
+func (l *GATConv) Grads() []*tensor.Matrix { return []*tensor.Matrix{l.DW, l.DA1, l.DA2} }
+
+// ZeroGrad implements Layer.
+func (l *GATConv) ZeroGrad() { zeroGradAll(l.Grads()) }
+
+func dot(a, b []float32) float32 {
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Forward computes attention outputs for the first nOut rows of h.
+func (l *GATConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int) *tensor.Matrix {
+	if h.Cols != l.InDim {
+		panic(fmt.Sprintf("nn: GATConv input dim %d, want %d", h.Cols, l.InDim))
+	}
+	if g.N != h.Rows || nOut > h.Rows {
+		panic(fmt.Sprintf("nn: GATConv graph %d nodes, features %d rows, nOut %d", g.N, h.Rows, nOut))
+	}
+	l.g, l.nOut, l.nAll, l.h = g, nOut, h.Rows, h
+
+	wh := tensor.New(h.Rows, l.OutDim)
+	tensor.MatMul(wh, h, l.W)
+	l.wh = wh
+
+	a1 := l.A1.Row(0)
+	a2 := l.A2.Row(0)
+	// s1[u] = a1·Wh_u, s2[u] = a2·Wh_u precomputed for all nodes.
+	s1 := make([]float32, h.Rows)
+	s2 := make([]float32, h.Rows)
+	for u := 0; u < h.Rows; u++ {
+		s1[u] = dot(a1, wh.Row(u))
+		s2[u] = dot(a2, wh.Row(u))
+	}
+
+	l.alpha = make([][]float32, nOut)
+	l.eRaw = make([][]float32, nOut)
+	pre := tensor.New(nOut, l.OutDim)
+	for v := 0; v < nOut; v++ {
+		nbrs := g.Neighbors(int32(v))
+		k := len(nbrs) + 1 // self first, then neighbors
+		e := make([]float32, k)
+		e[0] = s1[v] + s2[v]
+		for i, u := range nbrs {
+			e[i+1] = s1[v] + s2[u]
+		}
+		raw := make([]float32, k)
+		copy(raw, e)
+		l.eRaw[v] = raw
+		for i, x := range e {
+			if x < 0 {
+				e[i] = x * l.NegSlope
+			}
+		}
+		// Softmax over k entries.
+		mx := e[0]
+		for _, x := range e {
+			if x > mx {
+				mx = x
+			}
+		}
+		var sum float64
+		for i, x := range e {
+			ex := math.Exp(float64(x - mx))
+			e[i] = float32(ex)
+			sum += ex
+		}
+		inv := float32(1 / sum)
+		for i := range e {
+			e[i] *= inv
+		}
+		l.alpha[v] = e
+		// z_v = Σ α · Wh.
+		row := pre.Row(v)
+		self := wh.Row(v)
+		for j, x := range self {
+			row[j] += e[0] * x
+		}
+		for i, u := range nbrs {
+			wu := wh.Row(int(u))
+			a := e[i+1]
+			for j, x := range wu {
+				row[j] += a * x
+			}
+		}
+	}
+	l.pre = pre
+	return applyActivation(l.Act, pre)
+}
+
+// Backward accumulates parameter gradients and returns the gradient with
+// respect to the full input matrix (nAll × InDim).
+func (l *GATConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	if dOut.Rows != l.nOut || dOut.Cols != l.OutDim {
+		panic(fmt.Sprintf("nn: GATConv backward shape %dx%d, want %dx%d", dOut.Rows, dOut.Cols, l.nOut, l.OutDim))
+	}
+	dPre := dOut.Clone()
+	activationGrad(l.Act, dPre, l.pre)
+
+	a1 := l.A1.Row(0)
+	a2 := l.A2.Row(0)
+	dWh := tensor.New(l.nAll, l.OutDim)
+	da1 := make([]float32, l.OutDim)
+	da2 := make([]float32, l.OutDim)
+
+	for v := 0; v < l.nOut; v++ {
+		nbrs := l.g.Neighbors(int32(v))
+		alpha := l.alpha[v]
+		raw := l.eRaw[v]
+		dz := dPre.Row(v)
+		k := len(alpha)
+
+		// dα_i = dz · Wh_{u_i}; and dWh_{u_i} += α_i dz.
+		dAlpha := make([]float32, k)
+		nodeOf := func(i int) int {
+			if i == 0 {
+				return v
+			}
+			return int(nbrs[i-1])
+		}
+		for i := 0; i < k; i++ {
+			u := nodeOf(i)
+			wu := l.wh.Row(u)
+			dAlpha[i] = dot(dz, wu)
+			du := dWh.Row(u)
+			a := alpha[i]
+			for j, x := range dz {
+				du[j] += a * x
+			}
+		}
+		// Softmax backward: de_i = α_i (dα_i − Σ_j α_j dα_j).
+		var inner float32
+		for i := 0; i < k; i++ {
+			inner += alpha[i] * dAlpha[i]
+		}
+		for i := 0; i < k; i++ {
+			de := alpha[i] * (dAlpha[i] - inner)
+			// LeakyReLU backward.
+			if raw[i] < 0 {
+				de *= l.NegSlope
+			}
+			// e_i = a1·Wh_v + a2·Wh_{u_i}.
+			u := nodeOf(i)
+			whv := l.wh.Row(v)
+			whu := l.wh.Row(u)
+			dv := dWh.Row(v)
+			duu := dWh.Row(u)
+			for j := 0; j < l.OutDim; j++ {
+				da1[j] += de * whv[j]
+				da2[j] += de * whu[j]
+				dv[j] += de * a1[j]
+				duu[j] += de * a2[j]
+			}
+		}
+	}
+	for j := 0; j < l.OutDim; j++ {
+		l.DA1.Data[j] += da1[j]
+		l.DA2.Data[j] += da2[j]
+	}
+
+	dW := tensor.New(l.InDim, l.OutDim)
+	tensor.MatMulTransA(dW, l.h, dWh)
+	l.DW.Add(dW)
+
+	dH := tensor.New(l.nAll, l.InDim)
+	tensor.MatMulTransB(dH, dWh, l.W)
+	return dH
+}

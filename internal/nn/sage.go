@@ -1,0 +1,168 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// SAGEConv is a GraphSAGE layer with a mean aggregator, the paper's primary
+// model (Section 2):
+//
+//	z_v   = mean_{u ∈ N(v)} h_u                     (Eq. 1)
+//	h'_v  = σ(W · concat(z_v, h_v) + b)             (Eq. 2)
+//
+// The mean is normalized by invDeg[v], supplied by the caller. In exact
+// training invDeg[v] = 1/|N_global(v)|; under BNS the caller keeps the
+// global-degree normalizer while halo feature rows arrive pre-scaled by 1/p,
+// which makes z_v an unbiased estimator of the full-graph aggregation
+// (Section 3.2).
+type SAGEConv struct {
+	InDim, OutDim int
+	Act           Activation
+
+	W  *tensor.Matrix // (2*InDim) × OutDim
+	B  *tensor.Matrix // 1 × OutDim
+	DW *tensor.Matrix
+	DB *tensor.Matrix
+
+	// Forward caches for backward.
+	g      *graph.Graph
+	nOut   int
+	nAll   int
+	invDeg []float32
+	concat *tensor.Matrix // nOut × 2*InDim
+	pre    *tensor.Matrix // nOut × OutDim
+}
+
+// NewSAGEConv creates a SAGE layer with Xavier-initialized weights.
+func NewSAGEConv(inDim, outDim int, act Activation, rng *tensor.RNG) *SAGEConv {
+	l := &SAGEConv{
+		InDim:  inDim,
+		OutDim: outDim,
+		Act:    act,
+		W:      tensor.New(2*inDim, outDim),
+		B:      tensor.New(1, outDim),
+		DW:     tensor.New(2*inDim, outDim),
+		DB:     tensor.New(1, outDim),
+	}
+	tensor.XavierInit(l.W, 2*inDim, outDim, rng)
+	return l
+}
+
+// Params implements Layer.
+func (l *SAGEConv) Params() []*tensor.Matrix { return []*tensor.Matrix{l.W, l.B} }
+
+// Grads implements Layer.
+func (l *SAGEConv) Grads() []*tensor.Matrix { return []*tensor.Matrix{l.DW, l.DB} }
+
+// ZeroGrad implements Layer.
+func (l *SAGEConv) ZeroGrad() { zeroGradAll(l.Grads()) }
+
+// Forward computes outputs for the first nOut rows of h, aggregating over g
+// (whose node space matches h's rows). invDeg[v] is the normalizer for node
+// v's neighbor sum; len(invDeg) >= nOut.
+func (l *SAGEConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix {
+	if h.Cols != l.InDim {
+		panic(fmt.Sprintf("nn: SAGEConv input dim %d, want %d", h.Cols, l.InDim))
+	}
+	if g.N != h.Rows {
+		panic(fmt.Sprintf("nn: SAGEConv graph has %d nodes, features %d rows", g.N, h.Rows))
+	}
+	if nOut > h.Rows || len(invDeg) < nOut {
+		panic(fmt.Sprintf("nn: SAGEConv nOut=%d rows=%d invDeg=%d", nOut, h.Rows, len(invDeg)))
+	}
+	l.g, l.nOut, l.nAll, l.invDeg = g, nOut, h.Rows, invDeg
+
+	// Aggregate: z_v = invDeg[v] * Σ_{u∈N(v)} h_u, then concat with h_v.
+	concat := tensor.New(nOut, 2*l.InDim)
+	for v := 0; v < nOut; v++ {
+		row := concat.Row(v)
+		zrow := row[:l.InDim]
+		for _, u := range g.Neighbors(int32(v)) {
+			hu := h.Row(int(u))
+			for j, x := range hu {
+				zrow[j] += x
+			}
+		}
+		s := invDeg[v]
+		for j := range zrow {
+			zrow[j] *= s
+		}
+		copy(row[l.InDim:], h.Row(v))
+	}
+	l.concat = concat
+
+	pre := tensor.New(nOut, l.OutDim)
+	tensor.MatMul(pre, concat, l.W)
+	for v := 0; v < nOut; v++ {
+		row := pre.Row(v)
+		for j, b := range l.B.Row(0) {
+			row[j] += b
+		}
+	}
+	l.pre = pre
+	return applyActivation(l.Act, pre)
+}
+
+// Backward consumes dOut (nOut × OutDim), accumulates DW/DB, and returns the
+// gradient with respect to the full input feature matrix (nAll × InDim),
+// including halo rows.
+func (l *SAGEConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	if dOut.Rows != l.nOut || dOut.Cols != l.OutDim {
+		panic(fmt.Sprintf("nn: SAGEConv backward shape %dx%d, want %dx%d", dOut.Rows, dOut.Cols, l.nOut, l.OutDim))
+	}
+	dPre := dOut.Clone()
+	activationGrad(l.Act, dPre, l.pre)
+
+	// Parameter gradients.
+	dW := tensor.New(2*l.InDim, l.OutDim)
+	tensor.MatMulTransA(dW, l.concat, dPre)
+	l.DW.Add(dW)
+	for v := 0; v < l.nOut; v++ {
+		row := dPre.Row(v)
+		b := l.DB.Row(0)
+		for j, x := range row {
+			b[j] += x
+		}
+	}
+
+	// Input gradients.
+	dConcat := tensor.New(l.nOut, 2*l.InDim)
+	tensor.MatMulTransB(dConcat, dPre, l.W)
+	dH := tensor.New(l.nAll, l.InDim)
+	for v := 0; v < l.nOut; v++ {
+		drow := dConcat.Row(v)
+		dz := drow[:l.InDim]
+		// Self term.
+		dself := dH.Row(v)
+		for j, x := range drow[l.InDim:] {
+			dself[j] += x
+		}
+		// Neighbor terms: each u in N(v) receives invDeg[v] * dz.
+		s := l.invDeg[v]
+		if s == 0 {
+			continue
+		}
+		for _, u := range l.g.Neighbors(int32(v)) {
+			du := dH.Row(int(u))
+			for j, x := range dz {
+				du[j] += s * x
+			}
+		}
+	}
+	return dH
+}
+
+// InvDegrees returns 1/degree for every node of g (0 for isolated nodes),
+// the standard normalizer for exact full-graph mean aggregation.
+func InvDegrees(g *graph.Graph) []float32 {
+	inv := make([]float32, g.N)
+	for v := 0; v < g.N; v++ {
+		if d := g.Degree(int32(v)); d > 0 {
+			inv[v] = 1 / float32(d)
+		}
+	}
+	return inv
+}

@@ -1,0 +1,97 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// quadratic f(x) = Σ x², gradient 2x — both optimizers must drive x to 0.
+func gradOf(p *tensor.Matrix) *tensor.Matrix {
+	g := p.Clone()
+	g.Scale(2)
+	return g
+}
+
+func TestSGDConvergesOnQuadratic(t *testing.T) {
+	p := tensor.NewFrom(1, 3, []float32{1, -2, 3})
+	opt := NewSGD(0.1)
+	for i := 0; i < 200; i++ {
+		opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{gradOf(p)})
+	}
+	if p.MaxAbs() > 1e-4 {
+		t.Fatalf("SGD did not converge: %v", p.Data)
+	}
+}
+
+func TestSGDMomentumConverges(t *testing.T) {
+	p := tensor.NewFrom(1, 3, []float32{1, -2, 3})
+	opt := &SGD{LR: 0.05, Momentum: 0.9}
+	for i := 0; i < 300; i++ {
+		opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{gradOf(p)})
+	}
+	if p.MaxAbs() > 1e-3 {
+		t.Fatalf("momentum SGD did not converge: %v", p.Data)
+	}
+}
+
+func TestAdamConvergesOnQuadratic(t *testing.T) {
+	p := tensor.NewFrom(1, 3, []float32{5, -7, 2})
+	opt := NewAdam(0.1)
+	for i := 0; i < 500; i++ {
+		opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{gradOf(p)})
+	}
+	if p.MaxAbs() > 1e-2 {
+		t.Fatalf("Adam did not converge: %v", p.Data)
+	}
+}
+
+func TestAdamFirstStepIsLR(t *testing.T) {
+	// With bias correction, the first Adam step has magnitude ~LR regardless
+	// of gradient scale.
+	p := tensor.NewFrom(1, 1, []float32{0})
+	g := tensor.NewFrom(1, 1, []float32{1000})
+	opt := NewAdam(0.01)
+	opt.Step([]*tensor.Matrix{p}, []*tensor.Matrix{g})
+	if math.Abs(float64(p.Data[0])+0.01) > 1e-4 {
+		t.Fatalf("first Adam step = %v, want ~-0.01", p.Data[0])
+	}
+}
+
+func TestAdamDeterministicAcrossReplicas(t *testing.T) {
+	// Two replicas with identical params and gradients stay bit-identical —
+	// the property partition-parallel training relies on after AllReduce.
+	pa := tensor.NewFrom(1, 4, []float32{1, 2, 3, 4})
+	pb := pa.Clone()
+	oa, ob := NewAdam(0.01), NewAdam(0.01)
+	for i := 0; i < 50; i++ {
+		ga := gradOf(pa)
+		gb := gradOf(pb)
+		oa.Step([]*tensor.Matrix{pa}, []*tensor.Matrix{ga})
+		ob.Step([]*tensor.Matrix{pb}, []*tensor.Matrix{gb})
+	}
+	for i := range pa.Data {
+		if pa.Data[i] != pb.Data[i] {
+			t.Fatal("replicas diverged")
+		}
+	}
+}
+
+func TestStepShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdam(0.1).Step([]*tensor.Matrix{tensor.New(1, 2)}, []*tensor.Matrix{tensor.New(2, 1)})
+}
+
+func TestStepCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSGD(0.1).Step([]*tensor.Matrix{tensor.New(1, 2)}, nil)
+}

@@ -1,0 +1,50 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+func benchGraph(b *testing.B, nodes int) *datagen.Dataset {
+	b.Helper()
+	ds, err := datagen.Generate(datagen.Config{
+		Name: "bench", Nodes: nodes, Communities: 16, AvgDegree: 16,
+		IntraFrac: 0.7, DegreeSkew: 1.8, FeatureDim: 4,
+		TrainFrac: 0.5, ValFrac: 0.2, Seed: 1, StructureOnly: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func BenchmarkMetis8Parts(b *testing.B) {
+	ds := benchGraph(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Metis{Seed: uint64(i)}).Partition(ds.G, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMetis64Parts(b *testing.B) {
+	ds := benchGraph(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Metis{Seed: uint64(i)}).Partition(ds.G, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomPartition(b *testing.B) {
+	ds := benchGraph(b, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (&Random{Seed: uint64(i)}).Partition(ds.G, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Package partition implements graph partitioners for partition-parallel
+// GCN training: a seeded random partitioner and a METIS-style multilevel
+// k-way partitioner (heavy-edge-matching coarsening, greedy region-growing
+// initial partitioning, Kernighan–Lin-style refinement) whose objective is
+// the paper's: minimize the number of boundary nodes (communication volume,
+// Eq. 3) while keeping inner-node counts balanced.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Partitioner assigns every node of g to one of k parts, returning a length-N
+// slice of part ids in [0, k).
+type Partitioner interface {
+	Partition(g *graph.Graph, k int) ([]int32, error)
+	Name() string
+}
+
+// Random assigns nodes to partitions uniformly at random with exact balance
+// (shuffle + round-robin), the ablation baseline of Tables 7–8.
+type Random struct {
+	Seed uint64
+}
+
+// Name implements Partitioner.
+func (r *Random) Name() string { return "random" }
+
+// Partition implements Partitioner.
+func (r *Random) Partition(g *graph.Graph, k int) ([]int32, error) {
+	if err := checkArgs(g, k); err != nil {
+		return nil, err
+	}
+	rng := tensor.NewRNG(r.Seed)
+	perm := rng.Perm(g.N)
+	parts := make([]int32, g.N)
+	for i, v := range perm {
+		parts[v] = int32(i % k)
+	}
+	return parts, nil
+}
+
+func checkArgs(g *graph.Graph, k int) error {
+	if k <= 0 {
+		return fmt.Errorf("partition: k must be positive, got %d", k)
+	}
+	if k > g.N && g.N > 0 {
+		return fmt.Errorf("partition: k=%d exceeds %d nodes", k, g.N)
+	}
+	return nil
+}
+
+// Stats summarizes the quality of a partition assignment.
+type Stats struct {
+	K       int
+	Sizes   []int   // inner nodes per part
+	EdgeCut int64   // undirected edges crossing parts
+	MaxLoad int     // largest part size
+	MinLoad int     // smallest part size
+	Balance float64 // MaxLoad / (N/K)
+}
+
+// ComputeStats validates parts and returns summary statistics.
+func ComputeStats(g *graph.Graph, parts []int32, k int) (*Stats, error) {
+	if len(parts) != g.N {
+		return nil, fmt.Errorf("partition: assignment length %d != %d nodes", len(parts), g.N)
+	}
+	s := &Stats{K: k, Sizes: make([]int, k)}
+	for v, p := range parts {
+		if p < 0 || int(p) >= k {
+			return nil, fmt.Errorf("partition: node %d assigned to invalid part %d", v, p)
+		}
+		s.Sizes[p]++
+	}
+	for v := int32(0); v < int32(g.N); v++ {
+		for _, u := range g.Neighbors(v) {
+			if u > v && parts[u] != parts[v] {
+				s.EdgeCut++
+			}
+		}
+	}
+	s.MinLoad = g.N
+	for _, sz := range s.Sizes {
+		if sz > s.MaxLoad {
+			s.MaxLoad = sz
+		}
+		if sz < s.MinLoad {
+			s.MinLoad = sz
+		}
+	}
+	if g.N > 0 && k > 0 {
+		s.Balance = float64(s.MaxLoad) * float64(k) / float64(g.N)
+	}
+	return s, nil
+}

@@ -1,0 +1,510 @@
+// Package sampling implements the sampling-based GCN training baselines the
+// paper compares against (Tables 4, 5, 9, 11, 12): GraphSAGE neighbor
+// sampling, FastGCN and LADIES layer sampling, ClusterGCN and GraphSAINT
+// subgraph sampling, plus the edge-sampling ablations DropEdge and Boundary
+// Edge Sampling (BES).
+//
+// All subgraph-producing samplers share the Batch abstraction: a set of
+// global nodes, the induced subgraph over them, and a target mask marking
+// the rows where loss is computed. A MinibatchTrainer runs any such sampler
+// through the same nn stack used by BNS-GCN, so timing and accuracy
+// comparisons are apples-to-apples.
+package sampling
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Batch is one sampled training subgraph.
+type Batch struct {
+	Nodes      []int32      // local row -> global node id
+	G          *graph.Graph // induced subgraph over the local space
+	TargetMask []bool       // local rows contributing to the loss
+}
+
+// Sampler produces training batches. Implementations must be deterministic
+// given the RNG passed at construction.
+type Sampler interface {
+	Name() string
+	// Sample returns the next batch. Implementations may return fewer target
+	// nodes near the end of an epoch.
+	Sample() *Batch
+	// BatchesPerEpoch is how many batches constitute one epoch.
+	BatchesPerEpoch() int
+}
+
+// trainNodeList extracts the global ids with mask set.
+func trainNodeList(mask []bool) []int32 {
+	var out []int32
+	for v, b := range mask {
+		if b {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// induceBatch builds a Batch from a target set and an extra context set.
+func induceBatch(g *graph.Graph, targets []int32, context map[int32]bool) *Batch {
+	nodes := make([]int32, 0, len(targets)+len(context))
+	inTargets := make(map[int32]bool, len(targets))
+	for _, v := range targets {
+		nodes = append(nodes, v)
+		inTargets[v] = true
+	}
+	extra := make([]int32, 0, len(context))
+	for v := range context {
+		if !inTargets[v] {
+			extra = append(extra, v)
+		}
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	nodes = append(nodes, extra...)
+	sub := graph.InducedSubgraph(g, nodes)
+	mask := make([]bool, len(nodes))
+	for i := range targets {
+		mask[i] = true
+	}
+	return &Batch{Nodes: nodes, G: sub, TargetMask: mask}
+}
+
+// NeighborSampler is GraphSAGE-style node sampling (Hamilton et al., 2017):
+// a batch of train nodes is expanded layer by layer, keeping at most Fanout
+// random neighbors per node per hop.
+type NeighborSampler struct {
+	G      *graph.Graph
+	Train  []int32
+	Batch  int
+	Fanout int
+	Hops   int
+	rng    *tensor.RNG
+	cursor int
+	order  []int32
+}
+
+// NewNeighborSampler builds the sampler over the train mask.
+func NewNeighborSampler(g *graph.Graph, trainMask []bool, batch, fanout, hops int, seed uint64) *NeighborSampler {
+	s := &NeighborSampler{
+		G: g, Train: trainNodeList(trainMask), Batch: batch,
+		Fanout: fanout, Hops: hops, rng: tensor.NewRNG(seed),
+	}
+	s.reshuffle()
+	return s
+}
+
+func (s *NeighborSampler) reshuffle() {
+	perm := s.rng.Perm(len(s.Train))
+	s.order = make([]int32, len(s.Train))
+	for i, p := range perm {
+		s.order[i] = s.Train[p]
+	}
+	s.cursor = 0
+}
+
+// Name implements Sampler.
+func (s *NeighborSampler) Name() string { return "NeighborSampling" }
+
+// BatchesPerEpoch implements Sampler.
+func (s *NeighborSampler) BatchesPerEpoch() int {
+	return (len(s.Train) + s.Batch - 1) / s.Batch
+}
+
+// Sample implements Sampler.
+func (s *NeighborSampler) Sample() *Batch {
+	if s.cursor >= len(s.order) {
+		s.reshuffle()
+	}
+	end := s.cursor + s.Batch
+	if end > len(s.order) {
+		end = len(s.order)
+	}
+	targets := s.order[s.cursor:end]
+	s.cursor = end
+
+	context := make(map[int32]bool)
+	frontier := targets
+	for hop := 0; hop < s.Hops; hop++ {
+		var next []int32
+		for _, v := range frontier {
+			nbrs := s.G.Neighbors(v)
+			if len(nbrs) <= s.Fanout {
+				for _, u := range nbrs {
+					if !context[u] {
+						context[u] = true
+						next = append(next, u)
+					}
+				}
+				continue
+			}
+			for i := 0; i < s.Fanout; i++ {
+				u := nbrs[s.rng.Intn(len(nbrs))]
+				if !context[u] {
+					context[u] = true
+					next = append(next, u)
+				}
+			}
+		}
+		frontier = next
+	}
+	return induceBatch(s.G, targets, context)
+}
+
+// FastGCNSampler is layer sampling with a global, degree-proportional
+// proposal (Chen et al., 2018a): each batch pairs seed train nodes with
+// LayerSize importance-sampled context nodes drawn from the whole graph.
+type FastGCNSampler struct {
+	G         *graph.Graph
+	Train     []int32
+	Batch     int
+	LayerSize int
+	rng       *tensor.RNG
+	prefix    []float64 // degree-cumulative for importance sampling
+	cursor    int
+	order     []int32
+}
+
+// NewFastGCNSampler builds the sampler.
+func NewFastGCNSampler(g *graph.Graph, trainMask []bool, batch, layerSize int, seed uint64) *FastGCNSampler {
+	s := &FastGCNSampler{
+		G: g, Train: trainNodeList(trainMask), Batch: batch,
+		LayerSize: layerSize, rng: tensor.NewRNG(seed),
+	}
+	s.prefix = make([]float64, g.N+1)
+	for v := 0; v < g.N; v++ {
+		s.prefix[v+1] = s.prefix[v] + float64(g.Degree(int32(v))+1)
+	}
+	s.reshuffle()
+	return s
+}
+
+func (s *FastGCNSampler) reshuffle() {
+	perm := s.rng.Perm(len(s.Train))
+	s.order = make([]int32, len(s.Train))
+	for i, p := range perm {
+		s.order[i] = s.Train[p]
+	}
+	s.cursor = 0
+}
+
+// Name implements Sampler.
+func (s *FastGCNSampler) Name() string { return "FastGCN" }
+
+// BatchesPerEpoch implements Sampler.
+func (s *FastGCNSampler) BatchesPerEpoch() int {
+	return (len(s.Train) + s.Batch - 1) / s.Batch
+}
+
+// Sample implements Sampler.
+func (s *FastGCNSampler) Sample() *Batch {
+	if s.cursor >= len(s.order) {
+		s.reshuffle()
+	}
+	end := s.cursor + s.Batch
+	if end > len(s.order) {
+		end = len(s.order)
+	}
+	targets := s.order[s.cursor:end]
+	s.cursor = end
+
+	context := make(map[int32]bool)
+	total := s.prefix[len(s.prefix)-1]
+	for i := 0; i < s.LayerSize; i++ {
+		x := s.rng.Float64() * total
+		v := sort.SearchFloat64s(s.prefix, x)
+		if v > 0 {
+			v--
+		}
+		if v >= s.G.N {
+			v = s.G.N - 1
+		}
+		context[int32(v)] = true
+	}
+	return induceBatch(s.G, targets, context)
+}
+
+// LADIESSampler is layer-dependent importance sampling (Zou et al., 2019):
+// context nodes are drawn only from the neighborhood of the current batch,
+// degree-proportionally, which keeps the sampled layers connected.
+type LADIESSampler struct {
+	G         *graph.Graph
+	Train     []int32
+	Batch     int
+	LayerSize int
+	Hops      int
+	rng       *tensor.RNG
+	cursor    int
+	order     []int32
+}
+
+// NewLADIESSampler builds the sampler.
+func NewLADIESSampler(g *graph.Graph, trainMask []bool, batch, layerSize, hops int, seed uint64) *LADIESSampler {
+	s := &LADIESSampler{
+		G: g, Train: trainNodeList(trainMask), Batch: batch,
+		LayerSize: layerSize, Hops: hops, rng: tensor.NewRNG(seed),
+	}
+	s.reshuffle()
+	return s
+}
+
+func (s *LADIESSampler) reshuffle() {
+	perm := s.rng.Perm(len(s.Train))
+	s.order = make([]int32, len(s.Train))
+	for i, p := range perm {
+		s.order[i] = s.Train[p]
+	}
+	s.cursor = 0
+}
+
+// Name implements Sampler.
+func (s *LADIESSampler) Name() string { return "LADIES" }
+
+// BatchesPerEpoch implements Sampler.
+func (s *LADIESSampler) BatchesPerEpoch() int {
+	return (len(s.Train) + s.Batch - 1) / s.Batch
+}
+
+// Sample implements Sampler.
+func (s *LADIESSampler) Sample() *Batch {
+	if s.cursor >= len(s.order) {
+		s.reshuffle()
+	}
+	end := s.cursor + s.Batch
+	if end > len(s.order) {
+		end = len(s.order)
+	}
+	targets := s.order[s.cursor:end]
+	s.cursor = end
+
+	context := make(map[int32]bool)
+	current := targets
+	for hop := 0; hop < s.Hops; hop++ {
+		// Candidate pool: union of neighbors of the current layer.
+		var pool []int32
+		seen := make(map[int32]bool)
+		for _, v := range current {
+			for _, u := range s.G.Neighbors(v) {
+				if !seen[u] {
+					seen[u] = true
+					pool = append(pool, u)
+				}
+			}
+		}
+		if len(pool) == 0 {
+			break
+		}
+		// Degree-proportional draw of LayerSize nodes from the pool.
+		prefix := make([]float64, len(pool)+1)
+		for i, u := range pool {
+			prefix[i+1] = prefix[i] + float64(s.G.Degree(u)+1)
+		}
+		var next []int32
+		for i := 0; i < s.LayerSize; i++ {
+			x := s.rng.Float64() * prefix[len(prefix)-1]
+			j := sort.SearchFloat64s(prefix, x)
+			if j > 0 {
+				j--
+			}
+			if j >= len(pool) {
+				j = len(pool) - 1
+			}
+			u := pool[j]
+			if !context[u] {
+				context[u] = true
+				next = append(next, u)
+			}
+		}
+		current = next
+	}
+	return induceBatch(s.G, targets, context)
+}
+
+// ClusterGCNSampler (Chiang et al., 2019) pre-partitions the graph into
+// Clusters blocks and trains on the induced subgraph of a few randomly
+// merged blocks per batch.
+type ClusterGCNSampler struct {
+	G             *graph.Graph
+	trainMask     []bool
+	members       [][]int32
+	BlocksPerStep int
+	rng           *tensor.RNG
+}
+
+// NewClusterGCNSampler builds the sampler from a precomputed clustering
+// (parts as produced by any Partitioner over nclusters blocks).
+func NewClusterGCNSampler(g *graph.Graph, trainMask []bool, parts []int32, nclusters, blocksPerStep int, seed uint64) (*ClusterGCNSampler, error) {
+	if len(parts) != g.N {
+		return nil, fmt.Errorf("sampling: parts length %d != %d", len(parts), g.N)
+	}
+	s := &ClusterGCNSampler{
+		G: g, trainMask: trainMask, BlocksPerStep: blocksPerStep,
+		members: make([][]int32, nclusters), rng: tensor.NewRNG(seed),
+	}
+	for v, p := range parts {
+		if p < 0 || int(p) >= nclusters {
+			return nil, fmt.Errorf("sampling: bad cluster id %d", p)
+		}
+		s.members[p] = append(s.members[p], int32(v))
+	}
+	return s, nil
+}
+
+// Name implements Sampler.
+func (s *ClusterGCNSampler) Name() string { return "ClusterGCN" }
+
+// BatchesPerEpoch implements Sampler.
+func (s *ClusterGCNSampler) BatchesPerEpoch() int {
+	n := len(s.members) / s.BlocksPerStep
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Sample implements Sampler.
+func (s *ClusterGCNSampler) Sample() *Batch {
+	var nodes []int32
+	for i := 0; i < s.BlocksPerStep; i++ {
+		c := s.rng.Intn(len(s.members))
+		nodes = append(nodes, s.members[c]...)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	// Dedupe (blocks may repeat).
+	uniq := nodes[:0]
+	var prev int32 = -1
+	for _, v := range nodes {
+		if v != prev {
+			uniq = append(uniq, v)
+			prev = v
+		}
+	}
+	sub := graph.InducedSubgraph(s.G, uniq)
+	mask := make([]bool, len(uniq))
+	for i, v := range uniq {
+		mask[i] = s.trainMask[v]
+	}
+	return &Batch{Nodes: uniq, G: sub, TargetMask: mask}
+}
+
+// SAINTMode selects GraphSAINT's sampler variant.
+type SAINTMode int
+
+const (
+	// SAINTNode samples nodes with probability proportional to degree.
+	SAINTNode SAINTMode = iota
+	// SAINTEdge samples edges uniformly and keeps their endpoints.
+	SAINTEdge
+	// SAINTWalk samples random-walk roots and keeps the visited nodes.
+	SAINTWalk
+)
+
+func (m SAINTMode) String() string {
+	switch m {
+	case SAINTNode:
+		return "GraphSAINT-node"
+	case SAINTEdge:
+		return "GraphSAINT-edge"
+	case SAINTWalk:
+		return "GraphSAINT-walk"
+	}
+	return "GraphSAINT-?"
+}
+
+// GraphSAINTSampler (Zeng et al., 2020) trains on induced subgraphs drawn by
+// node, edge, or random-walk sampling.
+type GraphSAINTSampler struct {
+	G          *graph.Graph
+	trainMask  []bool
+	Mode       SAINTMode
+	Budget     int // nodes (node/walk modes) or edges (edge mode)
+	WalkLength int
+	rng        *tensor.RNG
+	prefix     []float64
+}
+
+// NewGraphSAINTSampler builds the sampler.
+func NewGraphSAINTSampler(g *graph.Graph, trainMask []bool, mode SAINTMode, budget, walkLength int, seed uint64) *GraphSAINTSampler {
+	s := &GraphSAINTSampler{
+		G: g, trainMask: trainMask, Mode: mode, Budget: budget,
+		WalkLength: walkLength, rng: tensor.NewRNG(seed),
+	}
+	s.prefix = make([]float64, g.N+1)
+	for v := 0; v < g.N; v++ {
+		s.prefix[v+1] = s.prefix[v] + float64(g.Degree(int32(v))+1)
+	}
+	return s
+}
+
+// Name implements Sampler.
+func (s *GraphSAINTSampler) Name() string { return s.Mode.String() }
+
+// BatchesPerEpoch implements Sampler.
+func (s *GraphSAINTSampler) BatchesPerEpoch() int {
+	n := s.G.N / s.Budget
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Sample implements Sampler.
+func (s *GraphSAINTSampler) Sample() *Batch {
+	picked := make(map[int32]bool)
+	switch s.Mode {
+	case SAINTNode:
+		total := s.prefix[len(s.prefix)-1]
+		for len(picked) < s.Budget {
+			x := s.rng.Float64() * total
+			v := sort.SearchFloat64s(s.prefix, x)
+			if v > 0 {
+				v--
+			}
+			if v >= s.G.N {
+				v = s.G.N - 1
+			}
+			picked[int32(v)] = true
+		}
+	case SAINTEdge:
+		for i := 0; i < s.Budget; i++ {
+			v := int32(s.rng.Intn(s.G.N))
+			nbrs := s.G.Neighbors(v)
+			if len(nbrs) == 0 {
+				continue
+			}
+			u := nbrs[s.rng.Intn(len(nbrs))]
+			picked[v] = true
+			picked[u] = true
+		}
+	case SAINTWalk:
+		roots := s.Budget / (s.WalkLength + 1)
+		if roots < 1 {
+			roots = 1
+		}
+		for r := 0; r < roots; r++ {
+			v := int32(s.rng.Intn(s.G.N))
+			picked[v] = true
+			for step := 0; step < s.WalkLength; step++ {
+				nbrs := s.G.Neighbors(v)
+				if len(nbrs) == 0 {
+					break
+				}
+				v = nbrs[s.rng.Intn(len(nbrs))]
+				picked[v] = true
+			}
+		}
+	}
+	nodes := make([]int32, 0, len(picked))
+	for v := range picked {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	sub := graph.InducedSubgraph(s.G, nodes)
+	mask := make([]bool, len(nodes))
+	for i, v := range nodes {
+		mask[i] = s.trainMask[v]
+	}
+	return &Batch{Nodes: nodes, G: sub, TargetMask: mask}
+}

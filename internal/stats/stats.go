@@ -1,0 +1,121 @@
+// Package stats provides the small statistical summaries the experiment
+// harness prints: histograms (Figure 3), box statistics (Figure 8), and
+// mean/std accumulation (the ±σ columns of Tables 4–5).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// MeanStd accumulates a running mean and standard deviation (Welford).
+type MeanStd struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *MeanStd) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations.
+func (w *MeanStd) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *MeanStd) Mean() float64 { return w.mean }
+
+// Std returns the sample standard deviation (0 for fewer than 2 points).
+func (w *MeanStd) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Box holds five-number summary statistics.
+type Box struct {
+	Min, Q1, Median, Q3, Max float64
+}
+
+// BoxStats computes the five-number summary of xs. Panics on empty input.
+func BoxStats(xs []float64) Box {
+	if len(xs) == 0 {
+		panic("stats: BoxStats of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return Box{
+		Min:    s[0],
+		Q1:     quantile(s, 0.25),
+		Median: quantile(s, 0.5),
+		Q3:     quantile(s, 0.75),
+		Max:    s[len(s)-1],
+	}
+}
+
+// quantile interpolates the q-th quantile of sorted s.
+func quantile(s []float64, q float64) float64 {
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Histogram bins xs into nbins equal-width buckets over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram. Values outside [min,max] clamp to the
+// first/last bin.
+func NewHistogram(xs []float64, min, max float64, nbins int) *Histogram {
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, nbins)}
+	if max <= min || nbins == 0 {
+		return h
+	}
+	w := (max - min) / float64(nbins)
+	for _, x := range xs {
+		b := int((x - min) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nbins {
+			b = nbins - 1
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// Render draws the histogram as ASCII rows ("lo-hi | ####  n").
+func (h *Histogram) Render(width int) string {
+	mx := 0
+	for _, c := range h.Counts {
+		if c > mx {
+			mx = c
+		}
+	}
+	if mx == 0 {
+		mx = 1
+	}
+	var sb strings.Builder
+	binW := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		lo := h.Min + float64(i)*binW
+		bar := strings.Repeat("#", c*width/mx)
+		fmt.Fprintf(&sb, "%6.2f-%6.2f | %-*s %d\n", lo, lo+binW, width, bar, c)
+	}
+	return sb.String()
+}

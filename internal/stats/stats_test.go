@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdKnownValues(t *testing.T) {
+	var w MeanStd
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("n = %d", w.N())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// Sample std of this classic set is sqrt(32/7).
+	if math.Abs(w.Std()-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Fatalf("std = %v", w.Std())
+	}
+}
+
+func TestMeanStdSinglePoint(t *testing.T) {
+	var w MeanStd
+	w.Add(3)
+	if w.Std() != 0 || w.Mean() != 3 {
+		t.Fatalf("single point: mean %v std %v", w.Mean(), w.Std())
+	}
+}
+
+func TestMeanStdMatchesDirectComputation(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) < 2 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e6 {
+				return true
+			}
+		}
+		var w MeanStd
+		var sum float64
+		for _, x := range xs {
+			w.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		std := math.Sqrt(m2 / float64(len(xs)-1))
+		return math.Abs(w.Mean()-mean) < 1e-6*(1+math.Abs(mean)) &&
+			math.Abs(w.Std()-std) < 1e-6*(1+std)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	b := BoxStats([]float64{1, 2, 3, 4, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.Q1 != 2 || b.Q3 != 4 {
+		t.Fatalf("box %+v", b)
+	}
+}
+
+func TestBoxStatsInterpolates(t *testing.T) {
+	b := BoxStats([]float64{1, 2, 3, 4})
+	if b.Median != 2.5 {
+		t.Fatalf("median %v, want 2.5", b.Median)
+	}
+}
+
+func TestBoxStatsSingle(t *testing.T) {
+	b := BoxStats([]float64{7})
+	if b.Min != 7 || b.Max != 7 || b.Median != 7 {
+		t.Fatalf("box %+v", b)
+	}
+}
+
+func TestBoxStatsEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BoxStats(nil)
+}
+
+func TestBoxStatsDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	BoxStats(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0.1, 0.2, 1.5, 2.9, -5, 99}, 0, 3, 3)
+	// -5 clamps into bin 0; 99 clamps into bin 2.
+	if h.Counts[0] != 3 || h.Counts[1] != 1 || h.Counts[2] != 2 {
+		t.Fatalf("counts %v", h.Counts)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 6 {
+		t.Fatalf("histogram lost values: %d", total)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]float64{0.5, 0.5, 2.5}, 0, 3, 3)
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Fatal("render produced no bars")
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Fatalf("expected 3 rows, got %q", out)
+	}
+}

@@ -1,0 +1,52 @@
+package tensor
+
+import "testing"
+
+func benchMatrices(n, k, m int) (*Matrix, *Matrix, *Matrix) {
+	rng := NewRNG(1)
+	a := randomMatrix(rng, n, k)
+	b := randomMatrix(rng, k, m)
+	return New(n, m), a, b
+}
+
+func BenchmarkMatMul128(b *testing.B) {
+	out, x, y := benchMatrices(128, 128, 128)
+	b.SetBytes(int64(128 * 128 * 128 * 2 * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(out, x, y)
+	}
+}
+
+func BenchmarkMatMulTall(b *testing.B) {
+	// GCN shape: many nodes × small feature dims.
+	out, x, y := benchMatrices(4096, 64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(out, x, y)
+	}
+}
+
+func BenchmarkMatMulTransA(b *testing.B) {
+	rng := NewRNG(2)
+	x := randomMatrix(rng, 4096, 64)
+	y := randomMatrix(rng, 4096, 32)
+	out := New(64, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTransA(out, x, y)
+	}
+}
+
+func BenchmarkGatherRows(b *testing.B) {
+	rng := NewRNG(3)
+	src := randomMatrix(rng, 10000, 64)
+	idx := make([]int32, 2000)
+	for i := range idx {
+		idx[i] = int32(rng.Intn(10000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GatherRows(src, idx)
+	}
+}

@@ -1,0 +1,185 @@
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// rowBlock is the number of output rows each parallel task handles.
+const rowBlock = 64
+
+// maxProcs caps the number of worker goroutines used by parallel kernels.
+var maxProcs = runtime.GOMAXPROCS(0)
+
+// parallelRows runs fn over [0,rows) split into contiguous chunks, one
+// goroutine per chunk, bounded by GOMAXPROCS. For tiny inputs it runs inline.
+func parallelRows(rows int, fn func(lo, hi int)) {
+	if rows <= rowBlock || maxProcs == 1 {
+		fn(0, rows)
+		return
+	}
+	nchunks := (rows + rowBlock - 1) / rowBlock
+	workers := maxProcs
+	if workers > nchunks {
+		workers = nchunks
+	}
+	var wg sync.WaitGroup
+	var next int
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				lo := next
+				next += rowBlock
+				mu.Unlock()
+				if lo >= rows {
+					return
+				}
+				hi := lo + rowBlock
+				if hi > rows {
+					hi = rows
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MatMul computes out = a·b where a is n×k and b is k×m. out must be n×m and
+// is overwritten. The kernel is cache-blocked over k and parallel over rows.
+func MatMul(out, a, b *Matrix) {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %d vs %d", a.Cols, b.Rows))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
+	}
+	n, k, m := a.Rows, a.Cols, b.Cols
+	parallelRows(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*m : (i+1)*m]
+			for j := range orow {
+				orow[j] = 0
+			}
+			for kk, av := range arow {
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*m : (kk+1)*m]
+				for j, bv := range brow {
+					orow[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulTransB computes out = a·bᵀ where a is n×k and b is m×k. out must be
+// n×m and is overwritten.
+func MatMulTransB(out, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransB inner dim mismatch %d vs %d", a.Cols, b.Cols))
+	}
+	if out.Rows != a.Rows || out.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransB out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
+	}
+	n, k, m := a.Rows, a.Cols, b.Rows
+	parallelRows(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*m : (i+1)*m]
+			for j := 0; j < m; j++ {
+				brow := b.Data[j*k : (j+1)*k]
+				var s float32
+				for kk, av := range arow {
+					s += av * brow[kk]
+				}
+				orow[j] = s
+			}
+		}
+	})
+}
+
+// MatMulTransA computes out = aᵀ·b where a is k×n and b is k×m. out must be
+// n×m and is overwritten. The reduction over k is split across workers with
+// per-worker accumulators to avoid write contention.
+func MatMulTransA(out, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulTransA inner dim mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	if out.Rows != a.Cols || out.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulTransA out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, b.Cols))
+	}
+	k, n, m := a.Rows, a.Cols, b.Cols
+	workers := maxProcs
+	if k < 256 || workers == 1 {
+		out.Zero()
+		accumTransA(out, a, b, 0, k)
+		return
+	}
+	if workers > 8 {
+		workers = 8 // diminishing returns; keeps partial buffers small
+	}
+	partials := make([]*Matrix, workers)
+	var wg sync.WaitGroup
+	chunk := (k + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > k {
+			hi = k
+		}
+		if lo >= hi {
+			break
+		}
+		partials[w] = New(n, m)
+		wg.Add(1)
+		go func(p *Matrix, lo, hi int) {
+			defer wg.Done()
+			accumTransA(p, a, b, lo, hi)
+		}(partials[w], lo, hi)
+	}
+	wg.Wait()
+	out.Zero()
+	for _, p := range partials {
+		if p != nil {
+			out.Add(p)
+		}
+	}
+}
+
+// accumTransA accumulates aᵀ·b over rows [lo,hi) of a and b into out.
+func accumTransA(out, a, b *Matrix, lo, hi int) {
+	n, m := a.Cols, b.Cols
+	for kk := lo; kk < hi; kk++ {
+		arow := a.Data[kk*n : (kk+1)*n]
+		brow := b.Data[kk*m : (kk+1)*m]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			orow := out.Data[i*m : (i+1)*m]
+			for j, bv := range brow {
+				orow[j] += av * bv
+			}
+		}
+	}
+}
+
+// Transpose returns aᵀ as a new matrix.
+func Transpose(a *Matrix) *Matrix {
+	out := New(a.Cols, a.Rows)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Row(i)
+		for j, v := range row {
+			out.Data[j*a.Rows+i] = v
+		}
+	}
+	return out
+}

@@ -1,0 +1,236 @@
+// Package tensor provides dense row-major float32 matrices and the small set
+// of linear-algebra kernels needed for GCN training: parallel blocked matrix
+// multiplication, row gather/scatter, and elementwise operations.
+//
+// It is the stand-in for the GPU tensor library used by the paper's PyTorch
+// implementation; the numerics are identical, only absolute speed differs.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float32 matrix. The zero value is an empty
+// matrix; use New or NewFrom to allocate storage.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// New returns a zeroed rows×cols matrix.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// NewFrom wraps data (not copied) as a rows×cols matrix.
+func NewFrom(rows, cols int, data []float32) *Matrix {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match %dx%d", len(data), rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set stores v at row i, column j.
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Row returns the i-th row as a slice sharing the matrix storage.
+func (m *Matrix) Row(i int) []float32 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := New(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// CopyFrom copies src into m. Shapes must match.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	if m.Rows != src.Rows || m.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: CopyFrom shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, src.Rows, src.Cols))
+	}
+	copy(m.Data, src.Data)
+}
+
+// Zero sets every element to 0.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Fill sets every element to v.
+func (m *Matrix) Fill(v float32) {
+	for i := range m.Data {
+		m.Data[i] = v
+	}
+}
+
+// Scale multiplies every element by a.
+func (m *Matrix) Scale(a float32) {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+}
+
+// Add accumulates other into m elementwise. Shapes must match.
+func (m *Matrix) Add(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: Add shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	for i, v := range other.Data {
+		m.Data[i] += v
+	}
+}
+
+// AddScaled accumulates a*other into m elementwise.
+func (m *Matrix) AddScaled(other *Matrix, a float32) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: AddScaled shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	for i, v := range other.Data {
+		m.Data[i] += a * v
+	}
+}
+
+// Sub subtracts other from m elementwise.
+func (m *Matrix) Sub(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: Sub shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	for i, v := range other.Data {
+		m.Data[i] -= v
+	}
+}
+
+// Hadamard multiplies m by other elementwise.
+func (m *Matrix) Hadamard(other *Matrix) {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		panic(fmt.Sprintf("tensor: Hadamard shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, other.Rows, other.Cols))
+	}
+	for i, v := range other.Data {
+		m.Data[i] *= v
+	}
+}
+
+// FrobeniusNorm returns the Frobenius norm of m, accumulated in float64.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements, accumulated in float64.
+func (m *Matrix) Sum() float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += float64(v)
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value.
+func (m *Matrix) MaxAbs() float32 {
+	var mx float32
+	for _, v := range m.Data {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// Equal reports whether m and other have the same shape and all elements
+// within tol of each other.
+func (m *Matrix) Equal(other *Matrix, tol float32) bool {
+	if m.Rows != other.Rows || m.Cols != other.Cols {
+		return false
+	}
+	for i, v := range other.Data {
+		d := m.Data[i] - v
+		if d < 0 {
+			d = -d
+		}
+		if d > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// HStackRows returns a new matrix whose rows are the concatenation of the
+// corresponding rows of a and b: out is a.Rows × (a.Cols+b.Cols).
+func HStackRows(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("tensor: HStackRows row mismatch %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i)[:a.Cols], a.Row(i))
+		copy(out.Row(i)[a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// SplitCols splits m into two matrices along columns at index c:
+// left is m.Rows×c, right is m.Rows×(m.Cols-c).
+func SplitCols(m *Matrix, c int) (left, right *Matrix) {
+	if c < 0 || c > m.Cols {
+		panic(fmt.Sprintf("tensor: SplitCols bad index %d for %d cols", c, m.Cols))
+	}
+	left = New(m.Rows, c)
+	right = New(m.Rows, m.Cols-c)
+	for i := 0; i < m.Rows; i++ {
+		copy(left.Row(i), m.Row(i)[:c])
+		copy(right.Row(i), m.Row(i)[c:])
+	}
+	return left, right
+}
+
+// GatherRows returns a new matrix whose i-th row is src.Row(idx[i]).
+func GatherRows(src *Matrix, idx []int32) *Matrix {
+	out := New(len(idx), src.Cols)
+	for i, r := range idx {
+		copy(out.Row(i), src.Row(int(r)))
+	}
+	return out
+}
+
+// ScatterAddRows adds src.Row(i) into dst.Row(idx[i]) for each i.
+func ScatterAddRows(dst, src *Matrix, idx []int32) {
+	if src.Rows != len(idx) {
+		panic(fmt.Sprintf("tensor: ScatterAddRows src rows %d != len(idx) %d", src.Rows, len(idx)))
+	}
+	if dst.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: ScatterAddRows col mismatch %d vs %d", dst.Cols, src.Cols))
+	}
+	for i, r := range idx {
+		d := dst.Row(int(r))
+		s := src.Row(i)
+		for j, v := range s {
+			d[j] += v
+		}
+	}
+}
+
+// ScatterRows copies src.Row(i) into dst.Row(idx[i]) for each i.
+func ScatterRows(dst, src *Matrix, idx []int32) {
+	if src.Rows != len(idx) {
+		panic(fmt.Sprintf("tensor: ScatterRows src rows %d != len(idx) %d", src.Rows, len(idx)))
+	}
+	for i, r := range idx {
+		copy(dst.Row(int(r)), src.Row(i))
+	}
+}
