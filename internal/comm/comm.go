@@ -29,6 +29,20 @@ type Cluster struct {
 	barrier   *reusableBarrier
 	bytesSent []atomic.Int64 // per source worker
 	msgsSent  []atomic.Int64
+	workers   []Worker
+	ring      []ringScratch
+}
+
+// ringScratch holds the per-rank send buffer for the ring AllReduce's first
+// reduce-scatter step (the only message whose payload cannot alias the
+// caller's data). Two buffers alternate by call parity: before a rank can be
+// two collectives ahead, its successor must have drained every message of
+// the collective two back (each send in the ring transitively requires the
+// whole ring to have progressed), so the buffer being rewritten is never
+// still queued.
+type ringScratch struct {
+	bufs  [2][]float32
+	calls uint64
 }
 
 // New creates a cluster of m workers. queueCap bounds the number of
@@ -47,12 +61,15 @@ func New(m int, queueCap int) *Cluster {
 		barrier:   newBarrier(m),
 		bytesSent: make([]atomic.Int64, m),
 		msgsSent:  make([]atomic.Int64, m),
+		workers:   make([]Worker, m),
+		ring:      make([]ringScratch, m),
 	}
 	for s := 0; s < m; s++ {
 		c.chans[s] = make([]chan message, m)
 		for d := 0; d < m; d++ {
 			c.chans[s][d] = make(chan message, queueCap)
 		}
+		c.workers[s] = Worker{c: c, rank: s}
 	}
 	return c
 }
@@ -65,7 +82,7 @@ func (c *Cluster) Worker(rank int) *Worker {
 	if rank < 0 || rank >= c.m {
 		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", rank, c.m))
 	}
-	return &Worker{c: c, rank: rank}
+	return &c.workers[rank]
 }
 
 // Run executes fn concurrently on every worker and waits for all to finish.
@@ -173,31 +190,77 @@ func (w *Worker) account(bytes int) {
 func (w *Worker) Barrier() { w.c.barrier.wait() }
 
 // AllReduceSum sums data elementwise across all workers; on return every
-// worker's slice holds the global sum. Implemented as reduce-to-root plus
-// broadcast; byte accounting reflects the actual messages sent.
+// worker's slice holds the global sum, bit-identical on every rank.
+//
+// The implementation is a ring reduce-scatter followed by a ring all-gather
+// (the collective structure NCCL and Gloo use): data is split into m chunks;
+// in m−1 steps each rank forwards a partially-reduced chunk to its successor
+// while accumulating the chunk arriving from its predecessor, leaving rank r
+// with the fully-reduced chunk (r+1) mod m; m−1 further forwarding steps
+// distribute the finished chunks. Every rank sends 2(m−1)·n/m ≈ 2n floats
+// regardless of m, versus the O(m·n) a reduce-to-root places on rank 0.
+// Each chunk's final value is computed once and copied verbatim by the
+// all-gather, so all ranks observe identical bits.
 func (w *Worker) AllReduceSum(data []float32, tag int) {
 	m := w.c.m
-	if m == 1 {
+	n := len(data)
+	if m == 1 || n == 0 {
 		return
 	}
-	if w.rank == 0 {
-		for src := 1; src < m; src++ {
-			part := w.RecvF32(src, tag)
-			if len(part) != len(data) {
-				panic(fmt.Sprintf("comm: allreduce length mismatch %d vs %d", len(part), len(data)))
-			}
-			for i, v := range part {
-				data[i] += v
-			}
+	lo := func(c int) int { return c * n / m }
+	hi := func(c int) int { return (c + 1) * n / m }
+	next := (w.rank + 1) % m
+	prev := (w.rank + m - 1) % m
+
+	// Step-0 send must not alias data (the chunk is overwritten by the
+	// all-gather before the message is necessarily consumed); copy it into
+	// the parity-alternating scratch buffer. Every later send forwards a
+	// received buffer, whose ownership travels with the message.
+	rs := &w.c.ring[w.rank]
+	scratch := rs.bufs[rs.calls&1]
+	rs.calls++
+	own := w.rank
+	sz := hi(own) - lo(own)
+	if cap(scratch) < sz {
+		scratch = make([]float32, sz)
+		rs.bufs[(rs.calls-1)&1] = scratch
+	}
+	scratch = scratch[:sz]
+	copy(scratch, data[lo(own):hi(own)])
+	w.SendF32(next, tag, scratch)
+
+	// Reduce-scatter: accumulate the incoming chunk into the received
+	// buffer (data stays untouched until the final values arrive) and pass
+	// it on.
+	var part []float32
+	for s := 0; s < m-1; s++ {
+		c := (w.rank - s - 1 + m) % m
+		part = w.RecvF32(prev, tag)
+		seg := data[lo(c):hi(c)]
+		if len(part) != len(seg) {
+			panic(fmt.Sprintf("comm: allreduce length mismatch %d vs %d", len(part), len(seg)))
 		}
-		for dst := 1; dst < m; dst++ {
-			w.SendF32(dst, tag+1, data)
+		for i, v := range seg {
+			part[i] += v
 		}
-	} else {
-		buf := make([]float32, len(data))
-		copy(buf, data)
-		w.SendF32(0, tag, buf)
-		copy(data, w.RecvF32(0, tag+1))
+		if s < m-2 {
+			w.SendF32(next, tag, part)
+		}
+	}
+
+	// part now holds the fully reduced chunk (rank+1) mod m.
+	done := (w.rank + 1) % m
+	copy(data[lo(done):hi(done)], part)
+
+	// All-gather: circulate the finished chunks around the ring.
+	w.SendF32(next, tag+1, part)
+	for s := 0; s < m-1; s++ {
+		c := (w.rank - s + m) % m
+		got := w.RecvF32(prev, tag+1)
+		copy(data[lo(c):hi(c)], got)
+		if s < m-2 {
+			w.SendF32(next, tag+1, got)
+		}
 	}
 }
 

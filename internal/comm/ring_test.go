@@ -1,0 +1,111 @@
+package comm
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestAllReduceRingBytesPerRank pins the ring collective's traffic shape:
+// every rank sends 2(m−1)·(n/m) floats — O(n) independent of m — where the
+// old reduce-to-root implementation made rank 0 send (m−1)·n floats and
+// receive as much, an O(m·n) hotspot.
+func TestAllReduceRingBytesPerRank(t *testing.T) {
+	const n = 1 << 12
+	for _, m := range []int{2, 4, 8} {
+		c := New(m, 0)
+		c.Run(func(w *Worker) {
+			data := make([]float32, n)
+			for i := range data {
+				data[i] = float32(w.Rank())
+			}
+			w.AllReduceSum(data, 50)
+		})
+		perChunk := n / m
+		wantBytes := int64(4 * 2 * (m - 1) * perChunk)
+		rootBytes := int64(4 * (m - 1) * n) // what reduce-to-root sends from rank 0
+		for r := 0; r < m; r++ {
+			got := c.BytesSent(r)
+			if got != wantBytes {
+				t.Errorf("m=%d rank %d sent %d bytes, want %d", m, r, got, wantBytes)
+			}
+			if m > 2 && got >= rootBytes {
+				t.Errorf("m=%d rank %d sent %d bytes, not below root bottleneck %d", m, r, got, rootBytes)
+			}
+		}
+	}
+}
+
+// TestAllReduceRingBitIdentical checks every rank observes the same bits
+// even for sums whose value depends on accumulation order in float32.
+func TestAllReduceRingBitIdentical(t *testing.T) {
+	const m, n = 5, 97 // odd length exercises uneven chunks
+	results := make([][]float32, m)
+	c := New(m, 0)
+	c.Run(func(w *Worker) {
+		data := make([]float32, n)
+		for i := range data {
+			// Values with rounding sensitivity: tiny and huge magnitudes mixed.
+			data[i] = float32(1.0/3.0) * float32(w.Rank()+1) * float32(i%7+1) * 1e-3
+		}
+		w.AllReduceSum(data, 9)
+		results[w.Rank()] = data
+	})
+	for r := 1; r < m; r++ {
+		for i := range results[0] {
+			if results[0][i] != results[r][i] {
+				t.Fatalf("elem %d differs between rank 0 (%v) and rank %d (%v)",
+					i, results[0][i], r, results[r][i])
+			}
+		}
+	}
+}
+
+// TestAllReduceRingUnevenAndTiny covers n not divisible by m and n < m
+// (empty chunks on some ranks).
+func TestAllReduceRingUnevenAndTiny(t *testing.T) {
+	for _, tc := range []struct{ m, n int }{{3, 7}, {7, 3}, {4, 1}, {5, 5}} {
+		c := New(tc.m, 0)
+		c.Run(func(w *Worker) {
+			data := make([]float32, tc.n)
+			for i := range data {
+				data[i] = float32(w.Rank()*100 + i)
+			}
+			w.AllReduceSum(data, 0)
+			for i := range data {
+				want := float32(tc.m*i + 100*tc.m*(tc.m-1)/2)
+				if data[i] != want {
+					t.Errorf("m=%d n=%d rank %d elem %d: got %v want %v",
+						tc.m, tc.n, w.Rank(), i, data[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestAllReduceRingBackToBack runs many collectives in a row on the same
+// cluster with no interleaved barrier, exercising the scratch-buffer parity
+// scheme that lets consecutive calls reuse send buffers safely.
+func TestAllReduceRingBackToBack(t *testing.T) {
+	const m, n, rounds = 4, 1024, 50
+	c := New(m, 0)
+	var bad atomic.Int32
+	c.Run(func(w *Worker) {
+		data := make([]float32, n)
+		for round := 0; round < rounds; round++ {
+			for i := range data {
+				data[i] = float32(w.Rank() + round)
+			}
+			w.AllReduceSum(data, round*2)
+			want := float32(m*round + m*(m-1)/2)
+			for i := range data {
+				if data[i] != want {
+					bad.Add(1)
+					return
+				}
+			}
+		}
+	})
+	if bad.Load() > 0 {
+		t.Fatalf("%d workers saw corrupted allreduce results", bad.Load())
+	}
+}

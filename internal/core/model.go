@@ -81,6 +81,12 @@ type Model struct {
 	Dropouts []*nn.Dropout
 	InDim    int
 	OutDim   int
+
+	// Memoized views of the (static) layer stack, so per-epoch calls to
+	// Layers/Params/Grads allocate nothing.
+	layersCache []nn.Layer
+	paramsCache []*tensor.Matrix
+	gradsCache  []*tensor.Matrix
 }
 
 // NewModel builds a model with deterministic initialization from cfg.Seed.
@@ -110,18 +116,17 @@ func NewModel(cfg ModelConfig, inDim, outDim int) (*Model, error) {
 		}
 		m.Dropouts = append(m.Dropouts, nn.NewDropout(cfg.Dropout, rng))
 	}
+	for _, l := range m.LayersL {
+		m.layersCache = append(m.layersCache, l)
+		m.paramsCache = append(m.paramsCache, l.Params()...)
+		m.gradsCache = append(m.gradsCache, l.Grads()...)
+	}
 	return m, nil
 }
 
 // Layers returns the stack as nn.Layer values for optimizers and grad
-// flattening.
-func (m *Model) Layers() []nn.Layer {
-	out := make([]nn.Layer, len(m.LayersL))
-	for i, l := range m.LayersL {
-		out[i] = l
-	}
-	return out
-}
+// flattening. The returned slice is shared; callers must not mutate it.
+func (m *Model) Layers() []nn.Layer { return m.layersCache }
 
 // LayerInputDims returns the input feature dimension of every layer, the d^(ℓ)
 // sequence of Eq. 4.
@@ -140,23 +145,13 @@ func (m *Model) ZeroGrad() {
 	}
 }
 
-// Params returns all trainable parameters in deterministic order.
-func (m *Model) Params() []*tensor.Matrix {
-	var ps []*tensor.Matrix
-	for _, l := range m.LayersL {
-		ps = append(ps, l.Params()...)
-	}
-	return ps
-}
+// Params returns all trainable parameters in deterministic order. The
+// returned slice is shared; callers must not mutate it.
+func (m *Model) Params() []*tensor.Matrix { return m.paramsCache }
 
-// Grads returns all gradients aligned with Params.
-func (m *Model) Grads() []*tensor.Matrix {
-	var gs []*tensor.Matrix
-	for _, l := range m.LayersL {
-		gs = append(gs, l.Grads()...)
-	}
-	return gs
-}
+// Grads returns all gradients aligned with Params. The returned slice is
+// shared; callers must not mutate it.
+func (m *Model) Grads() []*tensor.Matrix { return m.gradsCache }
 
 // CopyWeightsFrom copies parameters from src (same architecture).
 func (m *Model) CopyWeightsFrom(src *Model) {
@@ -176,6 +171,14 @@ func (m *Model) CopyWeightsFrom(src *Model) {
 // denom). Pass denom == global masked count; for single-process training use
 // the local count itself.
 func Loss(ds *datagen.Dataset, logits *tensor.Matrix, labels []int32, labelMatrix *tensor.Matrix, mask []bool, denom int) (float64, *tensor.Matrix) {
+	grad := tensor.New(logits.Rows, logits.Cols)
+	loss := LossInto(grad, ds, logits, labels, labelMatrix, mask, denom)
+	return loss, grad
+}
+
+// LossInto is Loss writing the gradient into a caller-owned matrix
+// (overwritten), for allocation-free training loops.
+func LossInto(grad *tensor.Matrix, ds *datagen.Dataset, logits *tensor.Matrix, labels []int32, labelMatrix *tensor.Matrix, mask []bool, denom int) float64 {
 	local := 0
 	for i := 0; i < logits.Rows; i++ {
 		if mask[i] {
@@ -183,16 +186,15 @@ func Loss(ds *datagen.Dataset, logits *tensor.Matrix, labels []int32, labelMatri
 		}
 	}
 	var loss float64
-	var grad *tensor.Matrix
 	if ds.MultiLabel {
-		loss, grad = nn.SigmoidBCE(logits, labelMatrix, mask)
+		loss = nn.SigmoidBCEInto(grad, logits, labelMatrix, mask)
 	} else {
-		loss, grad = nn.SoftmaxCrossEntropy(logits, labels, mask)
+		loss = nn.SoftmaxCrossEntropyInto(grad, logits, labels, mask)
 	}
 	if denom > 0 && local != denom {
 		scale := float64(local) / float64(denom)
 		loss *= scale
 		grad.Scale(float32(scale))
 	}
-	return loss, grad
+	return loss
 }

@@ -48,10 +48,24 @@ type LocalPartition struct {
 	TestMask    []bool
 	TrainCount  int
 
-	// Per-epoch scratch, reused to avoid allocation churn.
+	// Per-epoch scratch, reused to avoid allocation churn. The fixed-shape
+	// buffers are allocated once in NewLocalPartition; the model-dimension-
+	// dependent matrices (layer inputs, halo payloads, gradients) come from
+	// ws, an arena that reaches steady state after the first epoch. ws is
+	// Reset at the end of every epoch: all buffers drawn from it are dead by
+	// then (sent payloads are consumed within the epoch because the halo
+	// protocol is fully matched, and activations/gradients are not referenced
+	// across epochs).
 	epochIndptr  []int64
 	epochIndices []int32
 	active       []bool
+	eg           graph.Graph      // epoch subgraph header, rebuilt in place
+	ws           *tensor.Workspace
+	myPos        [][]int32 // per peer: positions I sampled (cap: full recv list)
+	theirPos     [][]int32 // per peer: received position slices (epoch-lived)
+	sendRows     [][]int32 // per peer: inner rows to send (cap: full send list)
+	recvSlots    [][]int32 // per peer: halo slots I fill (cap: full recv list)
+	epochInvDeg  []float32 // effective-degree normalizer (EstimatorSelfNorm)
 }
 
 // NewLocalPartition extracts partition i's local view from the dataset and
@@ -134,6 +148,21 @@ func NewLocalPartition(ds *datagen.Dataset, t *Topology, i int) *LocalPartition 
 	lp.epochIndptr = make([]int64, n+1)
 	lp.epochIndices = make([]int32, len(lp.fullIndices))
 	lp.active = make([]bool, n)
+	lp.ws = tensor.NewWorkspace()
+	k := t.K
+	lp.myPos = make([][]int32, k)
+	lp.theirPos = make([][]int32, k)
+	lp.sendRows = make([][]int32, k)
+	lp.recvSlots = make([][]int32, k)
+	for j := 0; j < k; j++ {
+		if j == i {
+			continue
+		}
+		lp.myPos[j] = make([]int32, 0, len(t.Recv[i][j]))
+		lp.recvSlots[j] = make([]int32, 0, len(t.Recv[i][j]))
+		lp.sendRows[j] = make([]int32, 0, len(t.Send[i][j]))
+	}
+	lp.epochInvDeg = make([]float32, lp.NIn)
 	return lp
 }
 
@@ -155,7 +184,8 @@ func (lp *LocalPartition) epochGraph() *graph.Graph {
 	for v := lp.NIn; v <= n; v++ {
 		lp.epochIndptr[v] = pos
 	}
-	return &graph.Graph{N: n, Indptr: lp.epochIndptr, Indices: lp.epochIndices[:pos]}
+	lp.eg = graph.Graph{N: n, Indptr: lp.epochIndptr, Indices: lp.epochIndices[:pos]}
+	return &lp.eg
 }
 
 // Estimator selects how sampled neighbor aggregations are normalized.
@@ -222,6 +252,10 @@ type ParallelTrainer struct {
 	epoch            int
 	evalModel        *Model
 	evalTrainer      *FullTrainer
+
+	// Per-rank reusable buffers for the gradient AllReduce and epoch stats.
+	flatGrads [][]float32
+	statsBuf  []workerStats
 }
 
 // NewParallelTrainer builds local partitions, one model replica per worker
@@ -248,6 +282,11 @@ func NewParallelTrainer(ds *datagen.Dataset, topo *Topology, cfg ParallelConfig)
 		t.rngs = append(t.rngs, tensor.NewRNG(cfg.SampleSeed+uint64(i)*0x9e3779b9))
 		t.globalTrainCount += t.Locals[i].TrainCount
 	}
+	t.flatGrads = make([][]float32, k)
+	for i := 0; i < k; i++ {
+		t.flatGrads[i] = make([]float32, 0, nn.ParamCount(t.Models[i].Layers()))
+	}
+	t.statsBuf = make([]workerStats, k)
 	return t, nil
 }
 
@@ -263,7 +302,7 @@ type workerStats struct {
 // returns aggregate statistics.
 func (t *ParallelTrainer) TrainEpoch() *EpochStats {
 	k := t.Topo.K
-	stats := make([]workerStats, k)
+	stats := t.statsBuf
 	t.Cluster.Run(func(w *comm.Worker) {
 		stats[w.Rank()] = t.runWorkerEpoch(w)
 	})
@@ -314,16 +353,16 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 	for i := range lp.active {
 		lp.active[i] = i < lp.NIn
 	}
-	myPos := make([][]int32, k) // positions I sampled, per owner partition
+	myPos := lp.myPos // positions I sampled, per owner partition
 	for j := 0; j < k; j++ {
 		if j == rank {
 			continue
 		}
 		full := t.Topo.Recv[rank][j]
-		var pos []int32
+		pos := myPos[j][:0]
 		switch {
 		case t.Cfg.P >= 1:
-			pos = make([]int32, len(full))
+			pos = pos[:len(full)]
 			for x := range pos {
 				pos[x] = int32(x)
 			}
@@ -342,8 +381,11 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 			ws.sampledBd++
 		}
 	}
-	// Broadcast selections; build per-destination send row lists.
-	theirPos := make([][]int32, k)
+	// Broadcast selections; build per-destination send row lists. The sent
+	// position slices alias lp.myPos scratch: the receiver holds them for
+	// the rest of the epoch, and the next epoch's rewrite is safe because
+	// TrainEpoch joins all workers in between.
+	theirPos := lp.theirPos
 	if k > 1 {
 		for j := 0; j < k; j++ {
 			if j != rank {
@@ -356,25 +398,25 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 			}
 		}
 	}
-	sendRows := make([][]int32, k) // inner local ids to send to j, per layer
+	sendRows := lp.sendRows // inner local ids to send to j, per layer
 	for j := 0; j < k; j++ {
 		if j == rank {
 			continue
 		}
 		full := t.Topo.Send[rank][j]
-		rows := make([]int32, len(theirPos[j]))
+		rows := sendRows[j][:len(theirPos[j])]
 		for x, posIdx := range theirPos[j] {
 			rows[x] = full[posIdx]
 		}
 		sendRows[j] = rows
 	}
-	recvSlots := make([][]int32, k) // halo local ids I fill from j
+	recvSlots := lp.recvSlots // halo local ids I fill from j
 	for j := 0; j < k; j++ {
 		if j == rank {
 			continue
 		}
 		full := t.Topo.Recv[rank][j]
-		slots := make([]int32, len(myPos[j]))
+		slots := recvSlots[j][:len(myPos[j])]
 		for x, posIdx := range myPos[j] {
 			slots[x] = int32(lp.NIn) + full[posIdx]
 		}
@@ -390,13 +432,15 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 	// unnormalized 1/p estimator does on low-degree nodes.
 	invDeg := lp.InvDeg // EstimatorHT: normalize by the full global degree
 	if t.Cfg.Estimator == EstimatorSelfNorm {
-		invDeg = make([]float32, lp.NIn)
+		invDeg = lp.epochInvDeg
 		for v := 0; v < lp.NIn; v++ {
 			row := eg.Neighbors(int32(v))
 			remote := float32(len(row) - int(lp.localNbrs[v]))
 			eff := float32(lp.localNbrs[v]) + invP*remote
 			if eff > 0 {
 				invDeg[v] = 1 / eff
+			} else {
+				invDeg[v] = 0 // scratch is reused; clear stale entries
 			}
 		}
 	}
@@ -407,19 +451,25 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 	hInner := lp.Features // inner activations entering the current layer
 	for l, layer := range model.LayersL {
 		dim := layer.InputDim()
-		x := tensor.New(nLocal, dim)
-		for v := 0; v < lp.NIn; v++ {
-			copy(x.Row(v), hInner.Row(v))
-		}
-		// Halo exchange for this layer.
+		// x comes from the epoch workspace with undefined contents: inner
+		// rows are overwritten below, sampled halo slots by the receive
+		// loop, and unsampled halo slots are never read because epochGraph
+		// dropped every edge into them.
+		x := lp.ws.Get(nLocal, dim)
+		copy(x.Data[:lp.NIn*dim], hInner.Data[:lp.NIn*dim])
+		// Halo exchange for this layer. Payload buffers alias the epoch
+		// workspace; receivers consume them within this epoch.
 		cs := time.Now()
 		for j := 0; j < k; j++ {
 			if j == rank || len(sendRows[j]) == 0 {
 				continue
 			}
-			payload := tensor.GatherRows(hInner, sendRows[j])
-			w.SendF32(j, tagForward+l, payload.Data)
-			ws.commBytes += int64(4 * len(payload.Data))
+			payload := lp.ws.GetF32(len(sendRows[j]) * dim)
+			for x2, row := range sendRows[j] {
+				copy(payload[x2*dim:(x2+1)*dim], hInner.Row(int(row)))
+			}
+			w.SendF32(j, tagForward+l, payload)
+			ws.commBytes += int64(4 * len(payload))
 		}
 		for j := 0; j < k; j++ {
 			if j == rank || len(recvSlots[j]) == 0 {
@@ -448,8 +498,8 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 
 	// --- Loss (line 12) ---
 	ls := time.Now()
-	loss, d := Loss(t.DS, hInner, lp.Labels, lp.LabelMatrix, lp.TrainMask, t.globalTrainCount)
-	ws.loss = loss
+	d := lp.ws.Get(hInner.Rows, hInner.Cols)
+	ws.loss = LossInto(d, t.DS, hInner, lp.Labels, lp.LabelMatrix, lp.TrainMask, t.globalTrainCount)
 	model.ZeroGrad()
 	ws.compute += time.Since(ls)
 
@@ -470,7 +520,7 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 			if j == rank || len(recvSlots[j]) == 0 {
 				continue
 			}
-			payload := make([]float32, len(recvSlots[j])*dim)
+			payload := lp.ws.GetF32(len(recvSlots[j]) * dim)
 			for x2, slot := range recvSlots[j] {
 				src := dx.Row(int(slot))
 				dst := payload[x2*dim : (x2+1)*dim]
@@ -482,21 +532,15 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 			ws.commBytes += int64(4 * len(payload))
 		}
 		// Next layer's output gradient: my inner rows plus remote halo grads.
-		dNext := tensor.New(lp.NIn, dim)
-		for v := 0; v < lp.NIn; v++ {
-			copy(dNext.Row(v), dx.Row(v))
-		}
+		dNext := lp.ws.Get(lp.NIn, dim)
+		copy(dNext.Data, dx.Data[:lp.NIn*dim])
 		for j := 0; j < k; j++ {
 			if j == rank || len(sendRows[j]) == 0 {
 				continue
 			}
 			data := w.RecvF32(j, tagBackward+l)
 			for x2, row := range sendRows[j] {
-				dst := dNext.Row(int(row))
-				src := data[x2*dim : (x2+1)*dim]
-				for c, v := range src {
-					dst[c] += v
-				}
+				tensor.AddTo(dNext.Row(int(row)), data[x2*dim:(x2+1)*dim])
 			}
 		}
 		ws.comm += time.Since(cs)
@@ -505,12 +549,16 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 
 	// --- Gradient AllReduce + update (lines 14–15) ---
 	rs := time.Now()
-	flat := nn.FlattenGrads(model.Layers(), nil)
+	flat := nn.FlattenMats(model.Grads(), t.flatGrads[rank])
+	t.flatGrads[rank] = flat
 	w.AllReduceSum(flat, tagReduce)
-	nn.UnflattenGrads(model.Layers(), flat)
+	nn.UnflattenMats(model.Grads(), flat)
 	ws.reduceBytes = int64(4 * len(flat))
 	t.opts[rank].Step(model.Params(), model.Grads())
 	ws.red = time.Since(rs)
+
+	// Everything drawn from the epoch workspace is dead now; recycle it.
+	lp.ws.Reset()
 	return ws
 }
 

@@ -38,6 +38,13 @@ type GATConv struct {
 	alpha [][]float32    // per output node: attention over (self + neighbors)
 	eRaw  [][]float32    // pre-LeakyReLU attention logits
 	pre   *tensor.Matrix
+
+	// Layer-owned scratch: alpha/eRaw subslice the flat alphaBuf/rawBuf
+	// (one segment per output node), and the per-node e/raw allocations of
+	// the unoptimized layer are gone. Reused across calls; capacity grows
+	// to the largest epoch subgraph seen.
+	alphaBuf, rawBuf, s1, s2, dAlpha, da1, da2 []float32
+	out, dPre, dWh, dWScratch, dH              *tensor.Matrix
 }
 
 // NewGATConv creates a single-head GAT layer with Xavier initialization.
@@ -69,14 +76,6 @@ func (l *GATConv) Grads() []*tensor.Matrix { return []*tensor.Matrix{l.DW, l.DA1
 // ZeroGrad implements Layer.
 func (l *GATConv) ZeroGrad() { zeroGradAll(l.Grads()) }
 
-func dot(a, b []float32) float32 {
-	var s float32
-	for i, v := range a {
-		s += v * b[i]
-	}
-	return s
-}
-
 // Forward computes attention outputs for the first nOut rows of h.
 func (l *GATConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int) *tensor.Matrix {
 	if h.Cols != l.InDim {
@@ -87,32 +86,42 @@ func (l *GATConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int) *tensor.Ma
 	}
 	l.g, l.nOut, l.nAll, l.h = g, nOut, h.Rows, h
 
-	wh := tensor.New(h.Rows, l.OutDim)
+	wh := ensureMat(&l.wh, h.Rows, l.OutDim)
 	tensor.MatMul(wh, h, l.W)
-	l.wh = wh
 
 	a1 := l.A1.Row(0)
 	a2 := l.A2.Row(0)
 	// s1[u] = a1·Wh_u, s2[u] = a2·Wh_u precomputed for all nodes.
-	s1 := make([]float32, h.Rows)
-	s2 := make([]float32, h.Rows)
+	s1 := ensureF32(&l.s1, h.Rows)
+	s2 := ensureF32(&l.s2, h.Rows)
 	for u := 0; u < h.Rows; u++ {
-		s1[u] = dot(a1, wh.Row(u))
-		s2[u] = dot(a2, wh.Row(u))
+		s1[u] = tensor.Dot(a1, wh.Row(u))
+		s2[u] = tensor.Dot(a2, wh.Row(u))
 	}
 
-	l.alpha = make([][]float32, nOut)
-	l.eRaw = make([][]float32, nOut)
-	pre := tensor.New(nOut, l.OutDim)
+	// One attention entry per (node, self∪neighbor) pair, packed flat.
+	total := nOut + int(g.Indptr[nOut]-g.Indptr[0])
+	flatE := ensureF32(&l.alphaBuf, total)
+	flatRaw := ensureF32(&l.rawBuf, total)
+	if cap(l.alpha) < nOut {
+		l.alpha = make([][]float32, nOut)
+		l.eRaw = make([][]float32, nOut)
+	}
+	l.alpha = l.alpha[:nOut]
+	l.eRaw = l.eRaw[:nOut]
+
+	pre := ensureMat(&l.pre, nOut, l.OutDim)
+	off := 0
 	for v := 0; v < nOut; v++ {
 		nbrs := g.Neighbors(int32(v))
 		k := len(nbrs) + 1 // self first, then neighbors
-		e := make([]float32, k)
+		e := flatE[off : off+k]
+		raw := flatRaw[off : off+k]
+		off += k
 		e[0] = s1[v] + s2[v]
 		for i, u := range nbrs {
 			e[i+1] = s1[v] + s2[u]
 		}
-		raw := make([]float32, k)
 		copy(raw, e)
 		l.eRaw[v] = raw
 		for i, x := range e {
@@ -142,18 +151,15 @@ func (l *GATConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int) *tensor.Ma
 		row := pre.Row(v)
 		self := wh.Row(v)
 		for j, x := range self {
-			row[j] += e[0] * x
+			row[j] = e[0] * x
 		}
 		for i, u := range nbrs {
-			wu := wh.Row(int(u))
-			a := e[i+1]
-			for j, x := range wu {
-				row[j] += a * x
-			}
+			tensor.Axpy(row, wh.Row(int(u)), e[i+1])
 		}
 	}
-	l.pre = pre
-	return applyActivation(l.Act, pre)
+	out := ensureMat(&l.out, nOut, l.OutDim)
+	applyActivationInto(out, l.Act, pre)
+	return out
 }
 
 // Backward accumulates parameter gradients and returns the gradient with
@@ -162,14 +168,20 @@ func (l *GATConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 	if dOut.Rows != l.nOut || dOut.Cols != l.OutDim {
 		panic(fmt.Sprintf("nn: GATConv backward shape %dx%d, want %dx%d", dOut.Rows, dOut.Cols, l.nOut, l.OutDim))
 	}
-	dPre := dOut.Clone()
+	dPre := ensureMat(&l.dPre, dOut.Rows, dOut.Cols)
+	copy(dPre.Data, dOut.Data)
 	activationGrad(l.Act, dPre, l.pre)
 
 	a1 := l.A1.Row(0)
 	a2 := l.A2.Row(0)
-	dWh := tensor.New(l.nAll, l.OutDim)
-	da1 := make([]float32, l.OutDim)
-	da2 := make([]float32, l.OutDim)
+	dWh := ensureMat(&l.dWh, l.nAll, l.OutDim)
+	dWh.Zero()
+	da1 := ensureF32(&l.da1, l.OutDim)
+	da2 := ensureF32(&l.da2, l.OutDim)
+	for j := range da1 {
+		da1[j] = 0
+		da2[j] = 0
+	}
 
 	for v := 0; v < l.nOut; v++ {
 		nbrs := l.g.Neighbors(int32(v))
@@ -179,7 +191,7 @@ func (l *GATConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 		k := len(alpha)
 
 		// dα_i = dz · Wh_{u_i}; and dWh_{u_i} += α_i dz.
-		dAlpha := make([]float32, k)
+		dAlpha := ensureF32(&l.dAlpha, k)
 		nodeOf := func(i int) int {
 			if i == 0 {
 				return v
@@ -188,13 +200,8 @@ func (l *GATConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 		}
 		for i := 0; i < k; i++ {
 			u := nodeOf(i)
-			wu := l.wh.Row(u)
-			dAlpha[i] = dot(dz, wu)
-			du := dWh.Row(u)
-			a := alpha[i]
-			for j, x := range dz {
-				du[j] += a * x
-			}
+			dAlpha[i] = tensor.Dot(dz, l.wh.Row(u))
+			tensor.Axpy(dWh.Row(u), dz, alpha[i])
 		}
 		// Softmax backward: de_i = α_i (dα_i − Σ_j α_j dα_j).
 		var inner float32
@@ -226,11 +233,11 @@ func (l *GATConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 		l.DA2.Data[j] += da2[j]
 	}
 
-	dW := tensor.New(l.InDim, l.OutDim)
+	dW := ensureMat(&l.dWScratch, l.InDim, l.OutDim)
 	tensor.MatMulTransA(dW, l.h, dWh)
 	l.DW.Add(dW)
 
-	dH := tensor.New(l.nAll, l.InDim)
+	dH := ensureMat(&l.dH, l.nAll, l.InDim)
 	tensor.MatMulTransB(dH, dWh, l.W)
 	return dH
 }

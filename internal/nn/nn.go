@@ -30,20 +30,57 @@ const (
 )
 
 func applyActivation(a Activation, pre *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(pre.Rows, pre.Cols)
+	applyActivationInto(out, a, pre)
+	return out
+}
+
+// applyActivationInto writes act(pre) into dst, overwriting every element.
+func applyActivationInto(dst *tensor.Matrix, a Activation, pre *tensor.Matrix) {
 	switch a {
 	case NoAct:
-		return pre.Clone()
+		copy(dst.Data, pre.Data)
 	case ReLUAct:
-		out := pre.Clone()
-		for i, v := range out.Data {
+		for i, v := range pre.Data {
 			if v < 0 {
-				out.Data[i] = 0
+				dst.Data[i] = 0
+			} else {
+				dst.Data[i] = v
 			}
 		}
-		return out
 	default:
 		panic(fmt.Sprintf("nn: unknown activation %d", a))
 	}
+}
+
+// ensureMat returns a rows×cols matrix stored at *buf, reusing the existing
+// storage when its capacity suffices. Contents are UNDEFINED; callers must
+// fully overwrite or explicitly zero. This is how layers keep per-call
+// scratch out of the allocator: shapes are stable across epochs, so after
+// warm-up every call reuses the same backing arrays.
+func ensureMat(buf **tensor.Matrix, rows, cols int) *tensor.Matrix {
+	m := *buf
+	n := rows * cols
+	if m == nil || cap(m.Data) < n {
+		m = tensor.New(rows, cols)
+		*buf = m
+		return m
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
+// ensureF32 returns a length-n float32 slice stored at *buf with undefined
+// contents, reusing capacity when possible.
+func ensureF32(buf *[]float32, n int) []float32 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]float32, n)
+	} else {
+		s = s[:n]
+	}
+	*buf = s
+	return s
 }
 
 // activationGrad multiplies dOut in place by act'(pre).
@@ -94,9 +131,22 @@ func ParamCount(layers []Layer) int {
 func FlattenGrads(layers []Layer, out []float32) []float32 {
 	out = out[:0]
 	for _, l := range layers {
-		for _, g := range l.Grads() {
-			out = append(out, g.Data...)
-		}
+		out = appendMats(out, l.Grads())
+	}
+	return out
+}
+
+// FlattenMats copies the elements of each matrix into out (reset to length
+// zero first) and returns it. With a pre-cached matrix slice and sufficient
+// capacity it allocates nothing, unlike FlattenGrads whose per-layer Grads()
+// calls build fresh slices.
+func FlattenMats(mats []*tensor.Matrix, out []float32) []float32 {
+	return appendMats(out[:0], mats)
+}
+
+func appendMats(out []float32, mats []*tensor.Matrix) []float32 {
+	for _, g := range mats {
+		out = append(out, g.Data...)
 	}
 	return out
 }
@@ -106,14 +156,26 @@ func FlattenGrads(layers []Layer, out []float32) []float32 {
 func UnflattenGrads(layers []Layer, flat []float32) {
 	i := 0
 	for _, l := range layers {
-		for _, g := range l.Grads() {
-			copy(g.Data, flat[i:i+len(g.Data)])
-			i += len(g.Data)
-		}
+		i = consumeMats(l.Grads(), flat, i)
 	}
 	if i != len(flat) {
 		panic(fmt.Sprintf("nn: UnflattenGrads consumed %d of %d", i, len(flat)))
 	}
+}
+
+// UnflattenMats copies flat back into the matrices, inverting FlattenMats.
+func UnflattenMats(mats []*tensor.Matrix, flat []float32) {
+	if i := consumeMats(mats, flat, 0); i != len(flat) {
+		panic(fmt.Sprintf("nn: UnflattenMats consumed %d of %d", i, len(flat)))
+	}
+}
+
+func consumeMats(mats []*tensor.Matrix, flat []float32, i int) int {
+	for _, g := range mats {
+		copy(g.Data, flat[i:i+len(g.Data)])
+		i += len(g.Data)
+	}
+	return i
 }
 
 // Dropout zeroes each element with probability Rate during training and
@@ -121,7 +183,9 @@ func UnflattenGrads(layers []Layer, flat []float32) {
 type Dropout struct {
 	Rate float32
 	rng  *tensor.RNG
-	mask *tensor.Matrix
+	mask *tensor.Matrix // nil when the last Forward was identity
+
+	maskBuf, outBuf, dxBuf *tensor.Matrix
 }
 
 // NewDropout returns a dropout layer with its own RNG stream.
@@ -133,6 +197,7 @@ func NewDropout(rate float32, rng *tensor.RNG) *Dropout {
 }
 
 // Forward applies dropout when train is true; at inference it is identity.
+// The returned matrix is layer-owned scratch, valid until the next Forward.
 func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if !train || d.Rate == 0 {
 		d.mask = nil
@@ -140,24 +205,31 @@ func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
 	}
 	keep := 1 - d.Rate
 	scale := 1 / keep
-	d.mask = tensor.New(x.Rows, x.Cols)
-	out := tensor.New(x.Rows, x.Cols)
+	mask := ensureMat(&d.maskBuf, x.Rows, x.Cols)
+	out := ensureMat(&d.outBuf, x.Rows, x.Cols)
 	for i, v := range x.Data {
 		if d.rng.Float32() < keep {
-			d.mask.Data[i] = scale
+			mask.Data[i] = scale
 			out.Data[i] = v * scale
+		} else {
+			mask.Data[i] = 0
+			out.Data[i] = 0
 		}
 	}
+	d.mask = mask
 	return out
 }
 
-// Backward routes gradients through the last Forward's mask.
+// Backward routes gradients through the last Forward's mask. The returned
+// matrix is layer-owned scratch, valid until the next Backward.
 func (d *Dropout) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 	if d.mask == nil {
 		return dOut
 	}
-	dx := dOut.Clone()
-	dx.Hadamard(d.mask)
+	dx := ensureMat(&d.dxBuf, dOut.Rows, dOut.Cols)
+	for i, v := range dOut.Data {
+		dx.Data[i] = v * d.mask.Data[i]
+	}
 	return dx
 }
 
@@ -165,10 +237,20 @@ func (d *Dropout) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 // logits selected by mask, and the gradient with respect to logits.
 // Rows outside the mask contribute zero loss and zero gradient.
 func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int32, mask []bool) (float64, *tensor.Matrix) {
+	grad := tensor.New(logits.Rows, logits.Cols)
+	return SoftmaxCrossEntropyInto(grad, logits, labels, mask), grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the gradient into a
+// caller-owned matrix (overwritten), for allocation-free training loops.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Matrix, labels []int32, mask []bool) float64 {
 	if len(labels) < logits.Rows || len(mask) < logits.Rows {
 		panic(fmt.Sprintf("nn: loss needs %d labels/mask, have %d/%d", logits.Rows, len(labels), len(mask)))
 	}
-	grad := tensor.New(logits.Rows, logits.Cols)
+	if grad.Rows != logits.Rows || grad.Cols != logits.Cols {
+		panic(fmt.Sprintf("nn: loss grad shape %dx%d, want %dx%d", grad.Rows, grad.Cols, logits.Rows, logits.Cols))
+	}
+	grad.Zero()
 	count := 0
 	for i := 0; i < logits.Rows; i++ {
 		if mask[i] {
@@ -176,7 +258,7 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int32, mask []bool) (fl
 		}
 	}
 	if count == 0 {
-		return 0, grad
+		return 0
 	}
 	inv := 1 / float64(count)
 	var loss float64
@@ -205,17 +287,27 @@ func SoftmaxCrossEntropy(logits *tensor.Matrix, labels []int32, mask []bool) (fl
 		}
 		g[y] -= float32(inv)
 	}
-	return loss, grad
+	return loss
 }
 
 // SigmoidBCE computes mean binary cross-entropy with logits over masked rows
 // against a 0/1 target matrix, averaged over rows and classes, plus the
 // gradient with respect to logits.
 func SigmoidBCE(logits, targets *tensor.Matrix, mask []bool) (float64, *tensor.Matrix) {
+	grad := tensor.New(logits.Rows, logits.Cols)
+	return SigmoidBCEInto(grad, logits, targets, mask), grad
+}
+
+// SigmoidBCEInto is SigmoidBCE writing the gradient into a caller-owned
+// matrix (overwritten).
+func SigmoidBCEInto(grad, logits, targets *tensor.Matrix, mask []bool) float64 {
 	if logits.Rows != targets.Rows || logits.Cols != targets.Cols {
 		panic(fmt.Sprintf("nn: BCE shape mismatch %dx%d vs %dx%d", logits.Rows, logits.Cols, targets.Rows, targets.Cols))
 	}
-	grad := tensor.New(logits.Rows, logits.Cols)
+	if grad.Rows != logits.Rows || grad.Cols != logits.Cols {
+		panic(fmt.Sprintf("nn: BCE grad shape %dx%d, want %dx%d", grad.Rows, grad.Cols, logits.Rows, logits.Cols))
+	}
+	grad.Zero()
 	count := 0
 	for i := 0; i < logits.Rows; i++ {
 		if mask[i] {
@@ -223,7 +315,7 @@ func SigmoidBCE(logits, targets *tensor.Matrix, mask []bool) (float64, *tensor.M
 		}
 	}
 	if count == 0 {
-		return 0, grad
+		return 0
 	}
 	inv := 1 / (float64(count) * float64(logits.Cols))
 	var loss float64
@@ -241,5 +333,5 @@ func SigmoidBCE(logits, targets *tensor.Matrix, mask []bool) (float64, *tensor.M
 			grow[j] = float32((sig - t) * inv)
 		}
 	}
-	return loss, grad
+	return loss
 }

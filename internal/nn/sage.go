@@ -34,6 +34,10 @@ type SAGEConv struct {
 	invDeg []float32
 	concat *tensor.Matrix // nOut × 2*InDim
 	pre    *tensor.Matrix // nOut × OutDim
+
+	// Layer-owned scratch, reused across calls so steady-state training
+	// allocates nothing. All are fully rewritten (or zeroed) before use.
+	out, dPre, dConcat, dH, dWScratch *tensor.Matrix
 }
 
 // NewSAGEConv creates a SAGE layer with Xavier-initialized weights.
@@ -76,25 +80,25 @@ func (l *SAGEConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []
 	l.g, l.nOut, l.nAll, l.invDeg = g, nOut, h.Rows, invDeg
 
 	// Aggregate: z_v = invDeg[v] * Σ_{u∈N(v)} h_u, then concat with h_v.
-	concat := tensor.New(nOut, 2*l.InDim)
+	in := l.InDim
+	concat := ensureMat(&l.concat, nOut, 2*in)
 	for v := 0; v < nOut; v++ {
 		row := concat.Row(v)
-		zrow := row[:l.InDim]
+		zrow := row[:in]
+		for j := range zrow {
+			zrow[j] = 0
+		}
 		for _, u := range g.Neighbors(int32(v)) {
-			hu := h.Row(int(u))
-			for j, x := range hu {
-				zrow[j] += x
-			}
+			tensor.AddTo(zrow, h.Data[int(u)*in:int(u)*in+in])
 		}
 		s := invDeg[v]
 		for j := range zrow {
 			zrow[j] *= s
 		}
-		copy(row[l.InDim:], h.Row(v))
+		copy(row[in:], h.Row(v))
 	}
-	l.concat = concat
 
-	pre := tensor.New(nOut, l.OutDim)
+	pre := ensureMat(&l.pre, nOut, l.OutDim)
 	tensor.MatMul(pre, concat, l.W)
 	for v := 0; v < nOut; v++ {
 		row := pre.Row(v)
@@ -102,54 +106,49 @@ func (l *SAGEConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []
 			row[j] += b
 		}
 	}
-	l.pre = pre
-	return applyActivation(l.Act, pre)
+	out := ensureMat(&l.out, nOut, l.OutDim)
+	applyActivationInto(out, l.Act, pre)
+	return out
 }
 
 // Backward consumes dOut (nOut × OutDim), accumulates DW/DB, and returns the
 // gradient with respect to the full input feature matrix (nAll × InDim),
-// including halo rows.
+// including halo rows. The returned matrix is layer-owned scratch, valid
+// until the next Backward.
 func (l *SAGEConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 	if dOut.Rows != l.nOut || dOut.Cols != l.OutDim {
 		panic(fmt.Sprintf("nn: SAGEConv backward shape %dx%d, want %dx%d", dOut.Rows, dOut.Cols, l.nOut, l.OutDim))
 	}
-	dPre := dOut.Clone()
+	dPre := ensureMat(&l.dPre, dOut.Rows, dOut.Cols)
+	copy(dPre.Data, dOut.Data)
 	activationGrad(l.Act, dPre, l.pre)
 
 	// Parameter gradients.
-	dW := tensor.New(2*l.InDim, l.OutDim)
+	dW := ensureMat(&l.dWScratch, 2*l.InDim, l.OutDim)
 	tensor.MatMulTransA(dW, l.concat, dPre)
 	l.DW.Add(dW)
 	for v := 0; v < l.nOut; v++ {
-		row := dPre.Row(v)
-		b := l.DB.Row(0)
-		for j, x := range row {
-			b[j] += x
-		}
+		tensor.AddTo(l.DB.Row(0), dPre.Row(v))
 	}
 
 	// Input gradients.
-	dConcat := tensor.New(l.nOut, 2*l.InDim)
+	in := l.InDim
+	dConcat := ensureMat(&l.dConcat, l.nOut, 2*in)
 	tensor.MatMulTransB(dConcat, dPre, l.W)
-	dH := tensor.New(l.nAll, l.InDim)
+	dH := ensureMat(&l.dH, l.nAll, in)
+	dH.Zero()
 	for v := 0; v < l.nOut; v++ {
 		drow := dConcat.Row(v)
-		dz := drow[:l.InDim]
+		dz := drow[:in]
 		// Self term.
-		dself := dH.Row(v)
-		for j, x := range drow[l.InDim:] {
-			dself[j] += x
-		}
+		tensor.AddTo(dH.Row(v), drow[in:])
 		// Neighbor terms: each u in N(v) receives invDeg[v] * dz.
 		s := l.invDeg[v]
 		if s == 0 {
 			continue
 		}
 		for _, u := range l.g.Neighbors(int32(v)) {
-			du := dH.Row(int(u))
-			for j, x := range dz {
-				du[j] += s * x
-			}
+			tensor.Axpy(dH.Data[int(u)*in:int(u)*in+in], dz, s)
 		}
 	}
 	return dH

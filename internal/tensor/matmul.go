@@ -4,54 +4,184 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// rowBlock is the number of output rows each parallel task handles.
+// rowBlock is the number of output rows each parallel task handles. It is
+// also the kernel's row-tile height: a four-row b-panel (the L1-resident
+// operand) is reused across all rows of one tile before the next panel loads.
 const rowBlock = 64
 
 // maxProcs caps the number of worker goroutines used by parallel kernels.
 var maxProcs = runtime.GOMAXPROCS(0)
 
-// parallelRows runs fn over [0,rows) split into contiguous chunks, one
-// goroutine per chunk, bounded by GOMAXPROCS. For tiny inputs it runs inline.
+// rowTask is one parallelRows invocation: workers claim contiguous chunks of
+// [0,rows) by advancing the atomic cursor, so there is no per-chunk lock.
+type rowTask struct {
+	fn   func(lo, hi int)
+	rows int
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+func (t *rowTask) run() {
+	rows := t.rows
+	for {
+		hi := int(t.next.Add(rowBlock))
+		lo := hi - rowBlock
+		if lo >= rows {
+			return
+		}
+		if hi > rows {
+			hi = rows
+		}
+		t.fn(lo, hi)
+	}
+}
+
+var (
+	taskPool   = sync.Pool{New: func() any { return new(rowTask) }}
+	workerOnce sync.Once
+	workQueue  chan *rowTask
+)
+
+// startWorkers launches the persistent kernel worker pool. Workers block on
+// the queue between tasks; they are started lazily on the first parallel
+// kernel call and live for the process lifetime.
+func startWorkers() {
+	workQueue = make(chan *rowTask, 4*maxProcs)
+	for i := 0; i < maxProcs; i++ {
+		go func() {
+			for t := range workQueue {
+				t.run()
+				t.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelRows runs fn over [0,rows) in rowBlock chunks claimed from an
+// atomic cursor. The caller participates, so progress never depends on a
+// pool worker being free; helpers that arrive after the cursor is exhausted
+// return immediately. For tiny inputs or single-CPU processes it runs inline.
 func parallelRows(rows int, fn func(lo, hi int)) {
 	if rows <= rowBlock || maxProcs == 1 {
 		fn(0, rows)
 		return
 	}
-	nchunks := (rows + rowBlock - 1) / rowBlock
-	workers := maxProcs
-	if workers > nchunks {
-		workers = nchunks
+	workerOnce.Do(startWorkers)
+	helpers := (rows+rowBlock-1)/rowBlock - 1
+	if helpers > maxProcs-1 {
+		helpers = maxProcs - 1
 	}
-	var wg sync.WaitGroup
-	var next int
-	var mu sync.Mutex
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				lo := next
-				next += rowBlock
-				mu.Unlock()
-				if lo >= rows {
-					return
-				}
-				hi := lo + rowBlock
-				if hi > rows {
-					hi = rows
-				}
-				fn(lo, hi)
-			}
-		}()
+	t := taskPool.Get().(*rowTask)
+	t.fn, t.rows = fn, rows
+	t.next.Store(0)
+	t.wg.Add(helpers)
+	for i := 0; i < helpers; i++ {
+		workQueue <- t
 	}
-	wg.Wait()
+	t.run()
+	t.wg.Wait()
+	t.fn = nil
+	taskPool.Put(t)
 }
 
+// ---- vector primitives ----
+// Each has an AVX2+FMA fast path over the 8-aligned prefix and a pure-Go
+// scalar tail; the scalar loops are the reference semantics on other CPUs.
+
+// AddTo computes dst[j] += src[j]. Lengths must match.
+func AddTo(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: AddTo length mismatch %d vs %d", len(dst), len(src)))
+	}
+	n := len(dst)
+	j := 0
+	if useAVX2 && n >= 8 {
+		n8 := n &^ 7
+		addAVX2(&dst[0], &src[0], n8)
+		j = n8
+	}
+	for ; j < n; j++ {
+		dst[j] += src[j]
+	}
+}
+
+// Axpy computes dst[j] += a*src[j]. Lengths must match.
+func Axpy(dst, src []float32, a float32) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Axpy length mismatch %d vs %d", len(dst), len(src)))
+	}
+	n := len(dst)
+	j := 0
+	if useAVX2 && n >= 8 {
+		n8 := n &^ 7
+		axpyAVX2(&dst[0], &src[0], n8, a)
+		j = n8
+	}
+	for ; j < n; j++ {
+		dst[j] += a * src[j]
+	}
+}
+
+// Dot returns the dot product of a and b. Lengths must match.
+func Dot(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float32
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// axpy4 computes dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j].
+// All slices have len(dst) elements.
+func axpy4(dst, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	n := len(dst)
+	j := 0
+	if useAVX2 && n >= 8 {
+		n8 := n &^ 7
+		a := [4]float32{a0, a1, a2, a3}
+		axpy4AVX2(&dst[0], &b0[0], &b1[0], &b2[0], &b3[0], n8, &a)
+		j = n8
+	}
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for ; j < n; j++ {
+		dst[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// dot4 returns the four dot products of a with b0..b3 (all len(a) long).
+func dot4(a, b0, b1, b2, b3 []float32) (s0, s1, s2, s3 float32) {
+	n := len(a)
+	i := 0
+	if useAVX2 && n >= 8 {
+		n8 := n &^ 7
+		var out [4]float32
+		dot4AVX2(&a[0], &b0[0], &b1[0], &b2[0], &b3[0], n8, &out)
+		s0, s1, s2, s3 = out[0], out[1], out[2], out[3]
+		i = n8
+	}
+	b0, b1, b2, b3 = b0[:n], b1[:n], b2[:n], b3[:n]
+	for ; i < n; i++ {
+		av := a[i]
+		s0 += av * b0[i]
+		s1 += av * b1[i]
+		s2 += av * b2[i]
+		s3 += av * b3[i]
+	}
+	return
+}
+
+// ---- matrix kernels ----
+
 // MatMul computes out = a·b where a is n×k and b is k×m. out must be n×m and
-// is overwritten. The kernel is cache-blocked over k and parallel over rows.
+// is overwritten. Row tiles of rowBlock rows are distributed across workers;
+// within a tile the kernel walks four-row b panels so each panel stays hot in
+// L1 while the tile of out accumulates in L2.
 func MatMul(out, a, b *Matrix) {
 	if a.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMul inner dim mismatch %d vs %d", a.Cols, b.Rows))
@@ -59,29 +189,56 @@ func MatMul(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMul out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Cols))
 	}
-	n, k, m := a.Rows, a.Cols, b.Cols
-	parallelRows(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*m : (i+1)*m]
-			for j := range orow {
-				orow[j] = 0
-			}
-			for kk, av := range arow {
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[kk*m : (kk+1)*m]
-				for j, bv := range brow {
-					orow[j] += av * bv
-				}
-			}
-		}
+	if a.Rows <= rowBlock || maxProcs == 1 {
+		matMulTile(out, a, b, 0, a.Rows) // skip the closure: it would escape
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) {
+		matMulTile(out, a, b, lo, hi)
 	})
 }
 
+// matMulTile computes rows [lo,hi) of out = a·b.
+func matMulTile(out, a, b *Matrix, lo, hi int) {
+	k, m := a.Cols, b.Cols
+	bd := b.Data
+	for i := lo; i < hi; i++ {
+		orow := out.Data[i*m : i*m+m]
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	kk := 0
+	for ; kk+4 <= k; kk += 4 {
+		b0 := bd[kk*m : kk*m+m]
+		b1 := bd[(kk+1)*m : (kk+1)*m+m]
+		b2 := bd[(kk+2)*m : (kk+2)*m+m]
+		b3 := bd[(kk+3)*m : (kk+3)*m+m]
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : i*k+k]
+			a0, a1, a2, a3 := arow[kk], arow[kk+1], arow[kk+2], arow[kk+3]
+			if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+				continue // dropout-sparse input panel
+			}
+			axpy4(out.Data[i*m:i*m+m], b0, b1, b2, b3, a0, a1, a2, a3)
+		}
+	}
+	for ; kk < k; kk++ {
+		brow := bd[kk*m : kk*m+m]
+		for i := lo; i < hi; i++ {
+			av := a.Data[i*k+kk]
+			if av == 0 {
+				continue
+			}
+			Axpy(out.Data[i*m:i*m+m], brow, av)
+		}
+	}
+}
+
 // MatMulTransB computes out = a·bᵀ where a is n×k and b is m×k. out must be
-// n×m and is overwritten.
+// n×m and is overwritten. Both operands are walked along contiguous rows;
+// four b rows are dotted against each a row at once so the 4×k b panel is
+// reused across the whole row tile.
 func MatMulTransB(out, a, b *Matrix) {
 	if a.Cols != b.Cols {
 		panic(fmt.Sprintf("tensor: MatMulTransB inner dim mismatch %d vs %d", a.Cols, b.Cols))
@@ -89,26 +246,59 @@ func MatMulTransB(out, a, b *Matrix) {
 	if out.Rows != a.Rows || out.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransB out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Rows, b.Rows))
 	}
-	n, k, m := a.Rows, a.Cols, b.Rows
-	parallelRows(n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*m : (i+1)*m]
-			for j := 0; j < m; j++ {
-				brow := b.Data[j*k : (j+1)*k]
-				var s float32
-				for kk, av := range arow {
-					s += av * brow[kk]
-				}
-				orow[j] = s
-			}
-		}
+	if a.Rows <= rowBlock || maxProcs == 1 {
+		matMulTransBTile(out, a, b, 0, a.Rows)
+		return
+	}
+	parallelRows(a.Rows, func(lo, hi int) {
+		matMulTransBTile(out, a, b, lo, hi)
 	})
+}
+
+func matMulTransBTile(out, a, b *Matrix, lo, hi int) {
+	k, m := a.Cols, b.Rows
+	bd := b.Data
+	j := 0
+	for ; j+4 <= m; j += 4 {
+		b0 := bd[j*k : j*k+k]
+		b1 := bd[(j+1)*k : (j+1)*k+k]
+		b2 := bd[(j+2)*k : (j+2)*k+k]
+		b3 := bd[(j+3)*k : (j+3)*k+k]
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : i*k+k]
+			s0, s1, s2, s3 := dot4(arow, b0, b1, b2, b3)
+			o := out.Data[i*m+j : i*m+j+4]
+			o[0], o[1], o[2], o[3] = s0, s1, s2, s3
+		}
+	}
+	for ; j < m; j++ {
+		brow := bd[j*k : j*k+k]
+		for i := lo; i < hi; i++ {
+			out.Data[i*m+j] = Dot(a.Data[i*k:i*k+k], brow)
+		}
+	}
+}
+
+// transAScratch pools the per-worker partial matrices of MatMulTransA so the
+// parallel reduction allocates nothing in steady state.
+var transAScratch sync.Pool
+
+func getPartial(rows, cols int) *Matrix {
+	n := rows * cols
+	if v := transAScratch.Get(); v != nil {
+		m := v.(*Matrix)
+		if cap(m.Data) >= n {
+			m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+			m.Zero()
+			return m
+		}
+	}
+	return New(rows, cols)
 }
 
 // MatMulTransA computes out = aᵀ·b where a is k×n and b is k×m. out must be
 // n×m and is overwritten. The reduction over k is split across workers with
-// per-worker accumulators to avoid write contention.
+// pooled per-worker accumulators to avoid write contention.
 func MatMulTransA(out, a, b *Matrix) {
 	if a.Rows != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulTransA inner dim mismatch %d vs %d", a.Rows, b.Rows))
@@ -126,7 +316,7 @@ func MatMulTransA(out, a, b *Matrix) {
 	if workers > 8 {
 		workers = 8 // diminishing returns; keeps partial buffers small
 	}
-	partials := make([]*Matrix, workers)
+	var partials [8]*Matrix
 	var wg sync.WaitGroup
 	chunk := (k + workers - 1) / workers
 	for w := 0; w < workers; w++ {
@@ -138,7 +328,7 @@ func MatMulTransA(out, a, b *Matrix) {
 		if lo >= hi {
 			break
 		}
-		partials[w] = New(n, m)
+		partials[w] = getPartial(n, m)
 		wg.Add(1)
 		go func(p *Matrix, lo, hi int) {
 			defer wg.Done()
@@ -147,26 +337,76 @@ func MatMulTransA(out, a, b *Matrix) {
 	}
 	wg.Wait()
 	out.Zero()
-	for _, p := range partials {
+	for _, p := range partials[:workers] {
 		if p != nil {
 			out.Add(p)
+			transAScratch.Put(p)
 		}
 	}
 }
 
-// accumTransA accumulates aᵀ·b over rows [lo,hi) of a and b into out.
+// accumTransA accumulates aᵀ·b over rows [lo,hi) of a and b into out, four
+// rows of a and b per pass.
 func accumTransA(out, a, b *Matrix, lo, hi int) {
 	n, m := a.Cols, b.Cols
-	for kk := lo; kk < hi; kk++ {
-		arow := a.Data[kk*n : (kk+1)*n]
-		brow := b.Data[kk*m : (kk+1)*m]
+	ad, bd := a.Data, b.Data
+	kk := lo
+	for ; kk+4 <= hi; kk += 4 {
+		a0 := ad[kk*n : kk*n+n]
+		a1 := ad[(kk+1)*n : (kk+1)*n+n]
+		a2 := ad[(kk+2)*n : (kk+2)*n+n]
+		a3 := ad[(kk+3)*n : (kk+3)*n+n]
+		b0 := bd[kk*m : kk*m+m]
+		b1 := bd[(kk+1)*m : (kk+1)*m+m]
+		b2 := bd[(kk+2)*m : (kk+2)*m+m]
+		b3 := bd[(kk+3)*m : (kk+3)*m+m]
+		for i := 0; i < n; i++ {
+			v0, v1, v2, v3 := a0[i], a1[i], a2[i], a3[i]
+			if v0 == 0 && v1 == 0 && v2 == 0 && v3 == 0 {
+				continue
+			}
+			axpy4(out.Data[i*m:i*m+m], b0, b1, b2, b3, v0, v1, v2, v3)
+		}
+	}
+	for ; kk < hi; kk++ {
+		arow := ad[kk*n : kk*n+n]
+		brow := bd[kk*m : kk*m+m]
 		for i, av := range arow {
 			if av == 0 {
 				continue
 			}
-			orow := out.Data[i*m : (i+1)*m]
-			for j, bv := range brow {
-				orow[j] += av * bv
+			Axpy(out.Data[i*m:i*m+m], brow, av)
+		}
+	}
+}
+
+// transposeBlock is the square tile edge for the blocked transpose; a
+// 32×32 float32 tile (4KB read + 4KB written) fits L1 comfortably.
+const transposeBlock = 32
+
+// TransposeInto writes aᵀ into out, which must be a.Cols×a.Rows and must not
+// alias a. Tiles are copied block-wise so both the reads and the writes stay
+// within cache lines instead of striding a full column apart.
+func TransposeInto(out, a *Matrix) {
+	if out.Rows != a.Cols || out.Cols != a.Rows {
+		panic(fmt.Sprintf("tensor: TransposeInto out shape %dx%d, want %dx%d", out.Rows, out.Cols, a.Cols, a.Rows))
+	}
+	rows, cols := a.Rows, a.Cols
+	for ii := 0; ii < rows; ii += transposeBlock {
+		ihi := ii + transposeBlock
+		if ihi > rows {
+			ihi = rows
+		}
+		for jj := 0; jj < cols; jj += transposeBlock {
+			jhi := jj + transposeBlock
+			if jhi > cols {
+				jhi = cols
+			}
+			for i := ii; i < ihi; i++ {
+				row := a.Data[i*cols : i*cols+cols]
+				for j := jj; j < jhi; j++ {
+					out.Data[j*rows+i] = row[j]
+				}
 			}
 		}
 	}
@@ -175,11 +415,6 @@ func accumTransA(out, a, b *Matrix, lo, hi int) {
 // Transpose returns aᵀ as a new matrix.
 func Transpose(a *Matrix) *Matrix {
 	out := New(a.Cols, a.Rows)
-	for i := 0; i < a.Rows; i++ {
-		row := a.Row(i)
-		for j, v := range row {
-			out.Data[j*a.Rows+i] = v
-		}
-	}
+	TransposeInto(out, a)
 	return out
 }

@@ -1,0 +1,64 @@
+//go:build amd64
+
+package tensor
+
+// useAVX2 gates the assembly kernels: true when the CPU supports AVX2+FMA
+// and the OS saves the YMM register state. Detection runs once at package
+// init; the pure-Go fallbacks in matmul.go remain the reference semantics.
+var useAVX2 = detectAVX2FMA()
+
+// cpuid executes the CPUID instruction for the given leaf and subleaf.
+//
+//go:noescape
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv reads extended control register 0 (XCR0).
+//
+//go:noescape
+func xgetbv() (eax, edx uint32)
+
+// axpy4AVX2 computes dst[j] += a[0]*b0[j] + a[1]*b1[j] + a[2]*b2[j] +
+// a[3]*b3[j] for j in [0,n). n must be a multiple of 8; callers handle the
+// scalar tail.
+//
+//go:noescape
+func axpy4AVX2(dst, b0, b1, b2, b3 *float32, n int, a *[4]float32)
+
+// dot4AVX2 writes the four dot products a·b0, a·b1, a·b2, a·b3 over the
+// first n elements into out. n must be a multiple of 8.
+//
+//go:noescape
+func dot4AVX2(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)
+
+// addAVX2 computes dst[j] += src[j] for j in [0,n), n a multiple of 8.
+//
+//go:noescape
+func addAVX2(dst, src *float32, n int)
+
+// axpyAVX2 computes dst[j] += a*src[j] for j in [0,n), n a multiple of 8.
+//
+//go:noescape
+func axpyAVX2(dst, src *float32, n int, a float32)
+
+func detectAVX2FMA() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, c1, _ := cpuid(1, 0)
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	// The OS must have enabled XMM and YMM state saving (XCR0 bits 1,2).
+	xa, _ := xgetbv()
+	if xa&6 != 6 {
+		return false
+	}
+	_, b7, _, _ := cpuid(7, 0)
+	return b7&(1<<5) != 0 // AVX2
+}

@@ -1,0 +1,23 @@
+//go:build !amd64
+
+package tensor
+
+// useAVX2 is always false on non-amd64 platforms; the pure-Go kernels in
+// matmul.go are used instead.
+const useAVX2 = false
+
+func axpy4AVX2(dst, b0, b1, b2, b3 *float32, n int, a *[4]float32) {
+	panic("tensor: axpy4AVX2 unavailable on this platform")
+}
+
+func dot4AVX2(a, b0, b1, b2, b3 *float32, n int, out *[4]float32) {
+	panic("tensor: dot4AVX2 unavailable on this platform")
+}
+
+func addAVX2(dst, src *float32, n int) {
+	panic("tensor: addAVX2 unavailable on this platform")
+}
+
+func axpyAVX2(dst, src *float32, n int, a float32) {
+	panic("tensor: axpyAVX2 unavailable on this platform")
+}
