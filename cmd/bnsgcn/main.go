@@ -1,26 +1,51 @@
 // Command bnsgcn trains a GCN with BNS-GCN partition-parallel training on a
 // generated dataset and reports per-epoch statistics and final test score.
 //
-// Usage:
+// By default the k partitions run as goroutines in one process over the
+// channel transport. With -rendezvous the same protocol runs across OS
+// processes over the TCP transport — one process per partition — which is
+// bit-identical to the in-process run (the cross-backend tests in
+// internal/core pin this):
 //
 //	bnsgcn -dataset reddit -k 8 -p 0.1 -epochs 100
 //	bnsgcn -dataset yelp -k 10 -p 0.01 -arch sage -layers 4 -hidden 32
+//
+//	# multi-process on one machine: spawn 4 workers over loopback
+//	bnsgcn -dataset reddit -p 0.1 -world 4 -rendezvous 127.0.0.1:29500 -spawn
+//
+//	# or launch each rank yourself (possibly on different machines):
+//	bnsgcn -dataset reddit -p 0.1 -world 4 -rendezvous host0:29500 -rank 0 &
+//	bnsgcn -dataset reddit -p 0.1 -world 4 -rendezvous host0:29500 -rank 1 &
+//	...
+//
+// Every rank regenerates the dataset and partitioning from the shared seed,
+// so no input files need distributing; ranks only exchange boundary
+// features, gradients, and the weight AllReduce.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
+	"strings"
 
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/partition"
 )
 
+// tagLoss is the AllReduce tag the CLI uses to aggregate the display loss
+// across ranks; it sits far above the training protocol's tag range.
+const tagLoss = 5000
+
 func main() {
 	var (
 		dsName  = flag.String("dataset", "reddit", "dataset: reddit, products, yelp")
-		k       = flag.Int("k", 4, "number of partitions (simulated GPUs)")
+		k       = flag.Int("k", 4, "number of partitions (simulated GPUs); ignored when -world is set")
 		p       = flag.Float64("p", 0.1, "boundary node sampling rate in [0,1]")
 		method  = flag.String("partitioner", "metis", "metis or random")
 		arch    = flag.String("arch", "sage", "model: sage or gat")
@@ -32,8 +57,27 @@ func main() {
 		scale   = flag.Int("scale", 1, "dataset scale multiplier")
 		seed    = flag.Uint64("seed", 1, "master seed")
 		every   = flag.Int("eval-every", 10, "evaluate test score every N epochs (0 = end only)")
+
+		rank  = flag.Int("rank", -1, "this process's rank in a multi-process run (requires -rendezvous)")
+		world = flag.Int("world", 0, "ranks in a multi-process run = partition count (requires -rendezvous)")
+		rdv   = flag.String("rendezvous", "", "host:port rank 0 serves during bootstrap; enables the TCP transport")
+		spawn = flag.Bool("spawn", false, "launch -world local worker processes (one per partition) and wait")
 	)
 	flag.Parse()
+
+	distributed := *rdv != ""
+	if distributed {
+		if *world < 1 {
+			fatal(fmt.Errorf("-rendezvous requires -world >= 1, got %d", *world))
+		}
+		*k = *world // one partition per process
+		if *spawn {
+			os.Exit(spawnWorkers(*world))
+		}
+		if *rank < 0 || *rank >= *world {
+			fatal(fmt.Errorf("-rank %d outside [0,%d); pass -spawn to launch all ranks", *rank, *world))
+		}
+	}
 
 	var cfg datagen.Config
 	var defLayers int
@@ -58,12 +102,17 @@ func main() {
 		*dropout = defDrop
 	}
 
-	fmt.Printf("generating %s (scale %d)...\n", cfg.Name, *scale)
+	logf := func(format string, args ...any) { fmt.Printf(format, args...) }
+	if distributed && *rank != 0 {
+		logf = func(string, ...any) {} // only rank 0 narrates
+	}
+
+	logf("generating %s (scale %d)...\n", cfg.Name, *scale)
 	ds, err := datagen.Generate(cfg)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("graph: %d nodes, %d edges; %d classes\n", ds.G.N, ds.G.NumEdges(), ds.NumClasses)
+	logf("graph: %d nodes, %d edges; %d classes\n", ds.G.N, ds.G.NumEdges(), ds.NumClasses)
 
 	var pt partition.Partitioner
 	switch *method {
@@ -82,19 +131,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("partitioned with %s into %d parts; communication volume %d boundary nodes\n",
+	logf("partitioned with %s into %d parts; communication volume %d boundary nodes\n",
 		pt.Name(), *k, topo.CommVolume())
 
 	mc := core.ModelConfig{
 		Arch: core.Arch(*arch), Layers: *layers, Hidden: *hidden,
 		Dropout: float32(*dropout), LR: float32(*lr), Seed: *seed,
 	}
-	tr, err := core.NewParallelTrainer(ds, topo, core.ParallelConfig{Model: mc, P: *p, SampleSeed: *seed + 1})
+	pcfg := core.ParallelConfig{Model: mc, P: *p, SampleSeed: *seed + 1}
+
+	if distributed {
+		logf("training %s (%d layers, %d hidden) for %d epochs at p=%.2g on %d processes over TCP\n\n",
+			*arch, *layers, *hidden, *epochs, *p, *world)
+		trainDistributed(ds, topo, pcfg, *rank, *world, *rdv, *epochs, *every)
+		return
+	}
+
+	tr, err := core.NewParallelTrainer(ds, topo, pcfg)
 	if err != nil {
 		fatal(err)
 	}
-
-	fmt.Printf("training %s (%d layers, %d hidden) for %d epochs at p=%.2g on %d workers\n\n",
+	logf("training %s (%d layers, %d hidden) for %d epochs at p=%.2g on %d workers\n\n",
 		*arch, *layers, *hidden, *epochs, *p, *k)
 	for e := 1; e <= *epochs; e++ {
 		st := tr.TrainEpoch()
@@ -105,6 +162,102 @@ func main() {
 		}
 	}
 	fmt.Printf("\nfinal: val %.4f  test %.4f\n", tr.Evaluate(ds.ValMask), tr.Evaluate(ds.TestMask))
+}
+
+// trainDistributed runs this process's single rank over the TCP transport.
+func trainDistributed(ds *datagen.Dataset, topo *core.Topology, pcfg core.ParallelConfig,
+	rank, world int, rdv string, epochs, every int) {
+	rt, err := core.NewRankTrainer(ds, topo, pcfg, rank)
+	if err != nil {
+		fatal(err)
+	}
+	tp, err := comm.DialTCP(comm.TCPConfig{Rank: rank, World: world, Rendezvous: rdv})
+	if err != nil {
+		fatal(err)
+	}
+	w := comm.NewWorker(tp)
+	loss := make([]float32, 1)
+	for e := 1; e <= epochs; e++ {
+		st, err := rt.TrainEpoch(w)
+		if err != nil {
+			fatal(err)
+		}
+		// Aggregate the scalar training loss for display; everything else
+		// the trainer needs is already exchanged inside the epoch.
+		loss[0] = float32(st.Loss)
+		w.AllReduceSum(loss, tagLoss)
+		// Only rank 0 evaluates: replicas are identical, and full-graph
+		// inference on every rank would be wasted work.
+		if rank == 0 && every > 0 && e%every == 0 {
+			fmt.Printf("epoch %4d  loss %.4f  (rank %d: sample %s, comm %s, reduce %s)  test %.4f\n",
+				e, loss[0], rank, st.Sample.Round(1e5), st.Comm.Round(1e5), st.Reduce.Round(1e5),
+				rt.Evaluate(ds.TestMask))
+		}
+	}
+	w.Barrier()
+	if rank == 0 {
+		fmt.Printf("\nfinal: val %.4f  test %.4f\n", rt.Evaluate(ds.ValMask), rt.Evaluate(ds.TestMask))
+		fmt.Printf("rank %d sent %d payload bytes in %d messages (%d bytes on the wire)\n",
+			rank, tp.BytesSent(), tp.MessagesSent(), tp.WireBytesSent())
+	}
+	if err := tp.Close(); err != nil {
+		fatal(err)
+	}
+}
+
+// spawnWorkers re-execs this binary once per rank with the same flags plus
+// -rank, prefixes each child's output with its rank, and waits for all.
+func spawnWorkers(world int) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	var base []string
+	for _, a := range os.Args[1:] {
+		s := strings.TrimLeft(a, "-")
+		if s == "spawn" || strings.HasPrefix(s, "spawn=") || strings.HasPrefix(s, "rank=") {
+			continue
+		}
+		base = append(base, a)
+	}
+	cmds := make([]*exec.Cmd, world)
+	drained := make([]chan struct{}, world)
+	for r := 0; r < world; r++ {
+		cmd := exec.Command(exe, append(append([]string{}, base...), fmt.Sprintf("-rank=%d", r))...)
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			fatal(err)
+		}
+		cmd.Stderr = cmd.Stdout
+		drained[r] = make(chan struct{})
+		go func(r int) {
+			defer close(drained[r])
+			prefixLines(stdout, fmt.Sprintf("[rank %d] ", r))
+		}(r)
+		if err := cmd.Start(); err != nil {
+			fatal(err)
+		}
+		cmds[r] = cmd
+	}
+	status := 0
+	for r, cmd := range cmds {
+		// Wait closes the pipe; read everything first or tail output is lost.
+		<-drained[r]
+		if err := cmd.Wait(); err != nil {
+			fmt.Fprintf(os.Stderr, "bnsgcn: rank %d: %v\n", r, err)
+			status = 1
+		}
+	}
+	return status
+}
+
+func prefixLines(r io.Reader, prefix string) {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		if line := sc.Text(); line != "" {
+			fmt.Println(prefix + line)
+		}
+	}
 }
 
 func fatal(err error) {

@@ -7,4 +7,16 @@
 // measured results. The benchmarks in bench_test.go regenerate every table
 // and figure of the paper's evaluation in quick mode; cmd/bnsbench runs them
 // at full size.
+//
+// # Communication transports
+//
+// The partition-parallel protocol (boundary-position exchange, per-layer
+// halo forward/backward, ring AllReduce) runs over a pluggable transport
+// (internal/comm.Transport). The in-process channel backend simulates k
+// devices as goroutines; the TCP backend runs one OS process per partition
+// over real sockets, bootstrapped from a rendezvous address, and is proven
+// bit-identical to the channel backend — same weights, losses, and per-rank
+// byte counts — by the cross-backend tests in internal/core. See
+// cmd/bnsgcn's -rank/-world/-rendezvous flags, examples/multiproc, and the
+// transport section of PERFORMANCE.md.
 package repro

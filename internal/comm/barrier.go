@@ -1,0 +1,51 @@
+package comm
+
+import "sync"
+
+// reusableBarrier is a generation-counted barrier usable repeatedly. An
+// aborted barrier (transport failure) releases every current and future
+// waiter with wait() == true so no rank is left blocked behind a dead peer.
+type reusableBarrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	count   int
+	gen     int
+	aborted bool
+}
+
+func newBarrier(n int) *reusableBarrier {
+	b := &reusableBarrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until all n participants arrive or the barrier is aborted;
+// it reports whether the wake-up was an abort.
+func (b *reusableBarrier) wait() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return true
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return false
+	}
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	return gen == b.gen && b.aborted
+}
+
+// abort releases every waiter and makes all future waits fail immediately.
+func (b *reusableBarrier) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}

@@ -1,9 +1,15 @@
-// Package comm provides the in-process message-passing substrate that stands
-// in for Gloo/NCCL in the paper's setup: one goroutine per partition
-// ("device"), tagged point-to-point sends and receives, AllReduce, variable
-// AllGather, barriers, and per-worker byte accounting. The byte counters are
-// exact and feed the cost model that projects wall-clock times onto the
-// paper's hardware profiles.
+// Package comm provides the message-passing substrate that stands in for
+// Gloo/NCCL in the paper's setup: tagged point-to-point sends and receives,
+// AllReduce, variable AllGather, barriers, and per-rank byte accounting. The
+// byte counters are exact and feed the cost model that projects wall-clock
+// times onto the paper's hardware profiles.
+//
+// Backends are pluggable behind the Transport interface. The in-process
+// backend (one goroutine per partition over Go channels, created by New)
+// remains the fast zero-copy default; the TCP backend (one OS process per
+// rank, created by DialTCP) runs the same protocol across real sockets and
+// is proven bit-identical to the channel backend by the cross-backend tests
+// in internal/core.
 package comm
 
 import (
@@ -20,298 +26,194 @@ type message struct {
 	i32 []int32
 }
 
-// Cluster is a group of m workers connected all-to-all. Create with New,
-// then either call Run (which spawns one goroutine per worker) or obtain
-// Workers manually for tests.
-type Cluster struct {
+// chanState is the shared fabric of one in-process cluster: the all-to-all
+// channel matrix, the barrier, and the per-rank counters.
+type chanState struct {
 	m         int
 	chans     [][]chan message // chans[src][dst]
 	barrier   *reusableBarrier
-	bytesSent []atomic.Int64 // per source worker
+	bytesSent []atomic.Int64 // per source rank
 	msgsSent  []atomic.Int64
-	workers   []Worker
-	ring      []ringScratch
+
+	failErr error // written once before failCh closes
+	failOn  sync.Once
+	failCh  chan struct{}
 }
 
-// ringScratch holds the per-rank send buffer for the ring AllReduce's first
-// reduce-scatter step (the only message whose payload cannot alias the
-// caller's data). Two buffers alternate by call parity: before a rank can be
-// two collectives ahead, its successor must have drained every message of
-// the collective two back (each send in the ring transitively requires the
-// whole ring to have progressed), so the buffer being rewritten is never
-// still queued.
-type ringScratch struct {
-	bufs  [2][]float32
-	calls uint64
+// fail records the first failure and wakes every blocked send and receive
+// on the shared fabric.
+func (s *chanState) fail(err error) {
+	s.failOn.Do(func() {
+		s.failErr = err
+		close(s.failCh)
+		s.barrier.abort()
+	})
 }
 
-// New creates a cluster of m workers. queueCap bounds the number of
-// outstanding messages per directed pair; 0 selects a default large enough
-// for the all-to-all exchange patterns used in training.
+// Cluster is a group of in-process workers connected all-to-all; it predates
+// the Transport abstraction and is now simply a Group over ChanTransports.
+type Cluster = Group
+
+// New creates an in-process cluster of m workers connected all-to-all with
+// Go channels.
+//
+// queueCap bounds the number of outstanding messages per directed (src,dst)
+// pair; 0 selects the default of 256. The bound matters because a send to a
+// full pair queue blocks until the receiver drains it — messages are never
+// dropped — so queueCap only has to cover the maximum number of messages one
+// rank can have in flight toward a single peer. For the training protocol
+// that is 1 position message + L forward + L−1 backward halo messages per
+// epoch toward any one peer, plus 2(m−1) ring AllReduce messages toward the
+// ring successor; since the ring lets no rank run more than two collectives
+// ahead of its successor, at most two epochs' worth can ever be queued, so
+// capacity ≥ 2·(2L + 2(m−1) + 1) guarantees senders never stall. The default
+// 256 covers every paper configuration (L ≤ 6, m ≤ 32 needs ≤ 150); larger
+// setups still run correctly, senders just block for backpressure.
 func New(m int, queueCap int) *Cluster {
 	if m <= 0 {
 		panic(fmt.Sprintf("comm: cluster size %d", m))
 	}
 	if queueCap <= 0 {
-		queueCap = 256
+		queueCap = defaultQueueCap
 	}
-	c := &Cluster{
+	s := &chanState{
 		m:         m,
 		chans:     make([][]chan message, m),
 		barrier:   newBarrier(m),
 		bytesSent: make([]atomic.Int64, m),
 		msgsSent:  make([]atomic.Int64, m),
-		workers:   make([]Worker, m),
-		ring:      make([]ringScratch, m),
+		failCh:    make(chan struct{}),
 	}
-	for s := 0; s < m; s++ {
-		c.chans[s] = make([]chan message, m)
+	ts := make([]Transport, m)
+	for r := 0; r < m; r++ {
+		s.chans[r] = make([]chan message, m)
 		for d := 0; d < m; d++ {
-			c.chans[s][d] = make(chan message, queueCap)
+			s.chans[r][d] = make(chan message, queueCap)
 		}
-		c.workers[s] = Worker{c: c, rank: s}
+		ts[r] = &ChanTransport{s: s, rank: r}
 	}
-	return c
+	return NewGroup(ts)
 }
 
-// Size returns the number of workers.
-func (c *Cluster) Size() int { return c.m }
+// defaultQueueCap is the per-pair queue depth both backends use when the
+// caller passes 0; see New for the derivation of the bound.
+const defaultQueueCap = 256
 
-// Worker returns the handle for the given rank.
-func (c *Cluster) Worker(rank int) *Worker {
-	if rank < 0 || rank >= c.m {
-		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", rank, c.m))
-	}
-	return &c.workers[rank]
-}
-
-// Run executes fn concurrently on every worker and waits for all to finish.
-// A panic in any worker is re-raised (first one wins) after all goroutines
-// have stopped or panicked.
-func (c *Cluster) Run(fn func(w *Worker)) {
-	var wg sync.WaitGroup
-	panics := make(chan any, c.m)
-	for r := 0; r < c.m; r++ {
-		wg.Add(1)
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					panics <- p
-				}
-			}()
-			fn(c.Worker(rank))
-		}(r)
-	}
-	wg.Wait()
-	select {
-	case p := <-panics:
-		panic(p)
-	default:
-	}
-}
-
-// BytesSent returns the total payload bytes sent by rank since the last
-// ResetCounters.
-func (c *Cluster) BytesSent(rank int) int64 { return c.bytesSent[rank].Load() }
-
-// TotalBytesSent sums BytesSent over all workers.
-func (c *Cluster) TotalBytesSent() int64 {
-	var t int64
-	for r := 0; r < c.m; r++ {
-		t += c.bytesSent[r].Load()
-	}
-	return t
-}
-
-// MessagesSent returns the number of messages sent by rank.
-func (c *Cluster) MessagesSent(rank int) int64 { return c.msgsSent[rank].Load() }
-
-// ResetCounters zeroes all byte and message counters.
-func (c *Cluster) ResetCounters() {
-	for r := 0; r < c.m; r++ {
-		c.bytesSent[r].Store(0)
-		c.msgsSent[r].Store(0)
-	}
-}
-
-// Worker is one rank's endpoint in the cluster. Methods on a Worker must be
-// called only from that worker's goroutine.
-type Worker struct {
-	c    *Cluster
+// ChanTransport is one rank's endpoint on the in-process channel backend.
+// Sends pass payload slices by reference (zero-copy), so the sender must not
+// mutate a payload after Send — the same ownership rule real RDMA imposes.
+type ChanTransport struct {
+	s    *chanState
 	rank int
 }
 
-// Rank returns this worker's id in [0, Size).
-func (w *Worker) Rank() int { return w.rank }
+// Rank returns this endpoint's id in [0, Size).
+func (t *ChanTransport) Rank() int { return t.rank }
 
 // Size returns the cluster size.
-func (w *Worker) Size() int { return w.c.m }
+func (t *ChanTransport) Size() int { return t.s.m }
+
+// send enqueues one message, blocking for backpressure but waking with a
+// panic if the cluster is aborted while blocked.
+func (t *ChanTransport) send(dst int, msg message) {
+	select {
+	case t.s.chans[t.rank][dst] <- msg:
+	default:
+		select {
+		case t.s.chans[t.rank][dst] <- msg:
+		case <-t.s.failCh:
+			panic(&TransportError{Rank: t.rank, Err: t.s.failErr})
+		}
+	}
+}
 
 // SendF32 sends a float32 payload to dst with a tag. The payload is not
-// copied; the sender must not mutate it afterwards (matching real RDMA
-// semantics where the buffer is owned by the transport until delivery).
-func (w *Worker) SendF32(dst, tag int, data []float32) {
-	w.account(4 * len(data))
-	w.c.chans[w.rank][dst] <- message{tag: tag, f32: data}
+// copied; the sender must not mutate it afterwards.
+func (t *ChanTransport) SendF32(dst, tag int, data []float32) {
+	t.account(4 * len(data))
+	t.send(dst, message{tag: tag, f32: data})
 }
 
 // SendI32 sends an int32 payload to dst with a tag.
-func (w *Worker) SendI32(dst, tag int, data []int32) {
-	w.account(4 * len(data))
-	w.c.chans[w.rank][dst] <- message{tag: tag, i32: data}
+func (t *ChanTransport) SendI32(dst, tag int, data []int32) {
+	t.account(4 * len(data))
+	t.send(dst, message{tag: tag, i32: data})
+}
+
+// recv dequeues the next message from src, preferring queued messages over
+// an abort so in-flight data is never lost.
+func (t *ChanTransport) recv(src int) message {
+	select {
+	case msg := <-t.s.chans[src][t.rank]:
+		return msg
+	default:
+	}
+	select {
+	case msg := <-t.s.chans[src][t.rank]:
+		return msg
+	case <-t.s.failCh:
+		select {
+		case msg := <-t.s.chans[src][t.rank]:
+			return msg
+		default:
+			panic(&TransportError{Rank: t.rank, Err: t.s.failErr})
+		}
+	}
 }
 
 // RecvF32 receives the next float32 message from src, which must carry the
 // expected tag; a tag mismatch means a protocol bug and panics.
-func (w *Worker) RecvF32(src, tag int) []float32 {
-	msg := <-w.c.chans[src][w.rank]
+func (t *ChanTransport) RecvF32(src, tag int) []float32 {
+	msg := t.recv(src)
 	if msg.tag != tag || msg.f32 == nil && len(msg.i32) > 0 {
-		panic(fmt.Sprintf("comm: rank %d expected f32 tag %d from %d, got tag %d", w.rank, tag, src, msg.tag))
+		panic(fmt.Sprintf("comm: rank %d expected f32 tag %d from %d, got tag %d", t.rank, tag, src, msg.tag))
 	}
 	return msg.f32
 }
 
 // RecvI32 receives the next int32 message from src with the expected tag.
-func (w *Worker) RecvI32(src, tag int) []int32 {
-	msg := <-w.c.chans[src][w.rank]
+func (t *ChanTransport) RecvI32(src, tag int) []int32 {
+	msg := t.recv(src)
 	if msg.tag != tag || msg.i32 == nil && len(msg.f32) > 0 {
-		panic(fmt.Sprintf("comm: rank %d expected i32 tag %d from %d, got tag %d", w.rank, tag, src, msg.tag))
+		panic(fmt.Sprintf("comm: rank %d expected i32 tag %d from %d, got tag %d", t.rank, tag, src, msg.tag))
 	}
 	return msg.i32
 }
 
-func (w *Worker) account(bytes int) {
-	w.c.bytesSent[w.rank].Add(int64(bytes))
-	w.c.msgsSent[w.rank].Add(1)
+func (t *ChanTransport) account(bytes int) {
+	t.s.bytesSent[t.rank].Add(int64(bytes))
+	t.s.msgsSent[t.rank].Add(1)
 }
 
-// Barrier blocks until every worker has entered it.
-func (w *Worker) Barrier() { w.c.barrier.wait() }
-
-// AllReduceSum sums data elementwise across all workers; on return every
-// worker's slice holds the global sum, bit-identical on every rank.
-//
-// The implementation is a ring reduce-scatter followed by a ring all-gather
-// (the collective structure NCCL and Gloo use): data is split into m chunks;
-// in m−1 steps each rank forwards a partially-reduced chunk to its successor
-// while accumulating the chunk arriving from its predecessor, leaving rank r
-// with the fully-reduced chunk (r+1) mod m; m−1 further forwarding steps
-// distribute the finished chunks. Every rank sends 2(m−1)·n/m ≈ 2n floats
-// regardless of m, versus the O(m·n) a reduce-to-root places on rank 0.
-// Each chunk's final value is computed once and copied verbatim by the
-// all-gather, so all ranks observe identical bits.
-func (w *Worker) AllReduceSum(data []float32, tag int) {
-	m := w.c.m
-	n := len(data)
-	if m == 1 || n == 0 {
-		return
-	}
-	lo := func(c int) int { return c * n / m }
-	hi := func(c int) int { return (c + 1) * n / m }
-	next := (w.rank + 1) % m
-	prev := (w.rank + m - 1) % m
-
-	// Step-0 send must not alias data (the chunk is overwritten by the
-	// all-gather before the message is necessarily consumed); copy it into
-	// the parity-alternating scratch buffer. Every later send forwards a
-	// received buffer, whose ownership travels with the message.
-	rs := &w.c.ring[w.rank]
-	scratch := rs.bufs[rs.calls&1]
-	rs.calls++
-	own := w.rank
-	sz := hi(own) - lo(own)
-	if cap(scratch) < sz {
-		scratch = make([]float32, sz)
-		rs.bufs[(rs.calls-1)&1] = scratch
-	}
-	scratch = scratch[:sz]
-	copy(scratch, data[lo(own):hi(own)])
-	w.SendF32(next, tag, scratch)
-
-	// Reduce-scatter: accumulate the incoming chunk into the received
-	// buffer (data stays untouched until the final values arrive) and pass
-	// it on.
-	var part []float32
-	for s := 0; s < m-1; s++ {
-		c := (w.rank - s - 1 + m) % m
-		part = w.RecvF32(prev, tag)
-		seg := data[lo(c):hi(c)]
-		if len(part) != len(seg) {
-			panic(fmt.Sprintf("comm: allreduce length mismatch %d vs %d", len(part), len(seg)))
-		}
-		for i, v := range seg {
-			part[i] += v
-		}
-		if s < m-2 {
-			w.SendF32(next, tag, part)
-		}
-	}
-
-	// part now holds the fully reduced chunk (rank+1) mod m.
-	done := (w.rank + 1) % m
-	copy(data[lo(done):hi(done)], part)
-
-	// All-gather: circulate the finished chunks around the ring.
-	w.SendF32(next, tag+1, part)
-	for s := 0; s < m-1; s++ {
-		c := (w.rank - s + m) % m
-		got := w.RecvF32(prev, tag+1)
-		copy(data[lo(c):hi(c)], got)
-		if s < m-2 {
-			w.SendF32(next, tag+1, got)
-		}
+// Barrier blocks until every rank has entered it, or panics with a
+// *TransportError if the cluster is aborted while waiting (matching the TCP
+// backend, whose barrier rides on fail-aware sends and receives).
+func (t *ChanTransport) Barrier() {
+	if t.s.barrier.wait() {
+		panic(&TransportError{Rank: t.rank, Err: t.s.failErr})
 	}
 }
 
-// AllGatherI32 gathers each worker's variable-length int32 slice; the result
-// is indexed by rank and identical on every worker.
-func (w *Worker) AllGatherI32(data []int32, tag int) [][]int32 {
-	m := w.c.m
-	out := make([][]int32, m)
-	own := make([]int32, len(data))
-	copy(own, data)
-	out[w.rank] = own
-	for dst := 0; dst < m; dst++ {
-		if dst != w.rank {
-			w.SendI32(dst, tag, own)
-		}
-	}
-	for src := 0; src < m; src++ {
-		if src != w.rank {
-			out[src] = w.RecvI32(src, tag)
-		}
-	}
-	return out
+// BytesSent returns the payload bytes this rank has sent since the last
+// ResetCounters.
+func (t *ChanTransport) BytesSent() int64 { return t.s.bytesSent[t.rank].Load() }
+
+// MessagesSent returns the number of messages this rank has sent.
+func (t *ChanTransport) MessagesSent() int64 { return t.s.msgsSent[t.rank].Load() }
+
+// ResetCounters zeroes this rank's byte and message counters.
+func (t *ChanTransport) ResetCounters() {
+	t.s.bytesSent[t.rank].Store(0)
+	t.s.msgsSent[t.rank].Store(0)
 }
 
-// reusableBarrier is a generation-counted barrier usable repeatedly.
-type reusableBarrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
+// Abort poisons the shared fabric: every blocked and subsequent Send/Recv
+// on any rank of this cluster panics with a *TransportError. (The fabric is
+// shared state, so unlike the TCP backend one rank's abort fails the whole
+// in-process cluster directly.)
+func (t *ChanTransport) Abort() {
+	t.s.fail(fmt.Errorf("transport aborted by rank %d", t.rank))
 }
 
-func newBarrier(n int) *reusableBarrier {
-	b := &reusableBarrier{n: n}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-func (b *reusableBarrier) wait() {
-	b.mu.Lock()
-	gen := b.gen
-	b.count++
-	if b.count == b.n {
-		b.count = 0
-		b.gen++
-		b.cond.Broadcast()
-	} else {
-		for gen == b.gen {
-			b.cond.Wait()
-		}
-	}
-	b.mu.Unlock()
-}
+// Close is a no-op: channel endpoints hold no OS resources.
+func (t *ChanTransport) Close() error { return nil }

@@ -1,0 +1,55 @@
+package comm
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPairQueueOverflowBlocksNotDrops pins the documented queueCap contract
+// of New: a send to a full (src,dst) queue blocks the sender — backpressure
+// — and no message is ever dropped or reordered once the receiver drains.
+func TestPairQueueOverflowBlocksNotDrops(t *testing.T) {
+	const capacity = 4
+	const total = capacity + 3
+	c := New(2, capacity)
+	var completed atomic.Int32
+	c.Run(func(w *Worker) {
+		if w.Rank() == 0 {
+			for i := 0; i < total; i++ {
+				w.SendF32(1, i, []float32{float32(i)})
+				completed.Add(1)
+			}
+			return
+		}
+		// Wait until the sender has filled the queue, then verify it is
+		// stuck there: exactly capacity sends completed, the next blocked.
+		deadline := time.Now().Add(5 * time.Second)
+		for completed.Load() < capacity && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+		time.Sleep(50 * time.Millisecond) // give a buggy non-blocking send time to race past
+		if got := completed.Load(); got != capacity {
+			t.Errorf("sender completed %d sends against a queue of capacity %d", got, capacity)
+		}
+		for i := 0; i < total; i++ {
+			if got := w.RecvF32(0, i); got[0] != float32(i) {
+				t.Errorf("message %d: got %v (dropped or reordered)", i, got[0])
+			}
+		}
+	})
+	if got := c.MessagesSent(0); got != total {
+		t.Fatalf("accounting says %d messages, want %d", got, total)
+	}
+}
+
+// TestDefaultQueueCapCoversTrainingBound documents the default's headroom:
+// the deepest paper configuration (L=6 layers, m=32 partitions) needs at
+// most 2·(2L+2(m−1)+1) = 150 outstanding messages per pair — see New.
+func TestDefaultQueueCapCoversTrainingBound(t *testing.T) {
+	const maxLayers, maxParts = 6, 32
+	bound := 2 * (2*maxLayers + 2*(maxParts-1) + 1)
+	if defaultQueueCap < bound {
+		t.Fatalf("default queue cap %d below the documented training bound %d", defaultQueueCap, bound)
+	}
+}

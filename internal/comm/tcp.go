@@ -1,0 +1,618 @@
+package comm
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Reserved tag space at the top of the uint32 range, used for
+// transport-internal control frames. Application tags must stay below
+// tagReservedBase; the training protocol's tags are all small integers.
+const (
+	tagReservedBase = 1 << 31
+	tagBarrierEnter = tagReservedBase + 0
+	tagBarrierLeave = tagReservedBase + 1
+	tagBye          = tagReservedBase + 2
+)
+
+// TransportError is the panic value raised by TCPTransport operations once
+// the transport has failed (a peer died, a connection broke, or Abort was
+// called). RankTrainer.TrainEpoch converts it into an ordinary error at the
+// epoch boundary.
+type TransportError struct {
+	Rank int
+	Err  error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("comm: rank %d: %v", e.Rank, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// TCPConfig configures DialTCP.
+type TCPConfig struct {
+	Rank  int
+	World int
+	// Rendezvous is the host:port every rank can reach; rank 0 listens
+	// there during bootstrap to collect and broadcast the address table.
+	Rendezvous string
+	// ListenHost is the interface data listeners bind and advertise
+	// (default 127.0.0.1, which covers single-machine multi-process runs;
+	// multi-host deployments must set it to the rank's reachable address).
+	ListenHost string
+	// QueueCap bounds the per-(peer,tag) receive queue depth; 0 selects the
+	// same default (256) and bound derivation as New — a full queue blocks
+	// the demux goroutine, which backpressures the connection; frames are
+	// never dropped.
+	QueueCap int
+	// Timeout bounds the whole bootstrap (rendezvous plus mesh dial);
+	// default 30s. After bootstrap, failure detection is event-driven: a
+	// dying peer resets its TCP connections, which every surviving rank
+	// observes directly (the mesh is fully connected).
+	Timeout time.Duration
+	// RendezvousListener, if non-nil, is a pre-bound listener rank 0 uses
+	// instead of listening on Rendezvous — this removes pick-a-free-port
+	// races in tests. DialTCP takes ownership and closes it.
+	RendezvousListener net.Listener
+}
+
+// tcpPeer is one established connection to another rank.
+type tcpPeer struct {
+	rank int
+	conn *net.TCPConn
+	br   *bufio.Reader
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	qmu    sync.Mutex
+	queues map[int]chan frame
+	// gone is closed by the read loop after the peer's goodbye frame has
+	// been demuxed: every frame the peer sent is already queued, and no
+	// more will come.
+	gone chan struct{}
+}
+
+// TCPTransport is one rank's endpoint on the socket backend: one persistent
+// duplex TCP connection per peer pair, a demux goroutine per connection
+// routing frames into per-(peer,tag) queues, and rank bootstrap through a
+// rendezvous address. Created by DialTCP.
+//
+// Error handling is fail-fast: any connection error (a peer process died,
+// was killed, or called Abort) fails the whole transport — every blocked
+// Recv and subsequent Send panics with a *TransportError naming the dead
+// peer instead of deadlocking. Because the mesh is fully connected, one
+// rank's death is observed by every survivor without timeouts or
+// heartbeats.
+type TCPTransport struct {
+	rank, world int
+	queueCap    int
+	peers       []*tcpPeer // indexed by rank; nil at own slot
+
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+	wireSent  atomic.Int64
+
+	closed  atomic.Bool
+	failErr error // written once before failCh closes
+	failOn  sync.Once
+	failCh  chan struct{}
+	readers sync.WaitGroup
+}
+
+// DialTCP bootstraps the full mesh for one rank and returns its endpoint.
+// Every rank binds a data listener, registers (rank, address) with the
+// rendezvous point served by rank 0, receives the complete address table,
+// and then each pair establishes one duplex connection (the higher rank
+// dials the lower). DialTCP returns once all world−1 connections are up.
+func DialTCP(cfg TCPConfig) (*TCPTransport, error) {
+	if cfg.World <= 0 {
+		return nil, fmt.Errorf("comm: world size %d", cfg.World)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.World {
+		return nil, fmt.Errorf("comm: rank %d out of [0,%d)", cfg.Rank, cfg.World)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = defaultQueueCap
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.ListenHost == "" {
+		cfg.ListenHost = "127.0.0.1"
+	}
+	t := &TCPTransport{
+		rank:     cfg.Rank,
+		world:    cfg.World,
+		queueCap: cfg.QueueCap,
+		peers:    make([]*tcpPeer, cfg.World),
+		failCh:   make(chan struct{}),
+	}
+	if cfg.World == 1 || cfg.Rank != 0 {
+		if cfg.RendezvousListener != nil {
+			cfg.RendezvousListener.Close() // only rank 0 serves the rendezvous
+		}
+	}
+	if cfg.World == 1 {
+		return t, nil // a lone rank needs no sockets
+	}
+	deadline := time.Now().Add(cfg.Timeout)
+
+	dataLn, err := net.Listen("tcp", net.JoinHostPort(cfg.ListenHost, "0"))
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d: data listener: %w", cfg.Rank, err)
+	}
+	defer dataLn.Close()
+
+	addrs, err := rendezvous(cfg, dataLn.Addr().String(), deadline)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := t.connectMesh(cfg, dataLn, addrs, deadline); err != nil {
+		for _, p := range t.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+		return nil, err
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			t.readers.Add(1)
+			go t.readLoop(p)
+		}
+	}
+	return t, nil
+}
+
+// rendezvous exchanges (rank, dataAddr) registrations for the full address
+// table. Rank 0 serves; other ranks dial with retry until rank 0 is up.
+func rendezvous(cfg TCPConfig, myAddr string, deadline time.Time) ([]string, error) {
+	if cfg.Rank == 0 {
+		ln := cfg.RendezvousListener
+		if ln == nil {
+			var err error
+			ln, err = net.Listen("tcp", cfg.Rendezvous)
+			if err != nil {
+				return nil, fmt.Errorf("comm: rank 0: rendezvous listener %s: %w", cfg.Rendezvous, err)
+			}
+		}
+		defer ln.Close()
+		if tl, ok := ln.(*net.TCPListener); ok {
+			tl.SetDeadline(deadline)
+		}
+		addrs := make([]string, cfg.World)
+		addrs[0] = myAddr
+		conns := make([]net.Conn, 0, cfg.World-1)
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+		for i := 0; i < cfg.World-1; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return nil, fmt.Errorf("comm: rank 0: rendezvous accept (%d of %d ranks registered): %w",
+					i, cfg.World-1, err)
+			}
+			conn.SetDeadline(deadline)
+			conns = append(conns, conn)
+			var r int
+			var addr string
+			if _, err := fmt.Fscanf(bufio.NewReader(conn), "HELLO %d %s\n", &r, &addr); err != nil {
+				return nil, fmt.Errorf("comm: rank 0: bad rendezvous hello: %w", err)
+			}
+			if r <= 0 || r >= cfg.World || addrs[r] != "" {
+				return nil, fmt.Errorf("comm: rank 0: rendezvous hello from invalid or duplicate rank %d", r)
+			}
+			addrs[r] = addr
+		}
+		table := "ADDRS " + strings.Join(addrs, " ") + "\n"
+		for _, c := range conns {
+			if _, err := c.Write([]byte(table)); err != nil {
+				return nil, fmt.Errorf("comm: rank 0: rendezvous broadcast: %w", err)
+			}
+		}
+		return addrs, nil
+	}
+
+	var conn net.Conn
+	for {
+		var err error
+		conn, err = net.DialTimeout("tcp", cfg.Rendezvous, time.Until(deadline))
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("comm: rank %d: rendezvous %s unreachable: %w", cfg.Rank, cfg.Rendezvous, err)
+		}
+		time.Sleep(20 * time.Millisecond) // rank 0 may not be listening yet
+	}
+	defer conn.Close()
+	conn.SetDeadline(deadline)
+	if _, err := fmt.Fprintf(conn, "HELLO %d %s\n", cfg.Rank, myAddr); err != nil {
+		return nil, fmt.Errorf("comm: rank %d: rendezvous register: %w", cfg.Rank, err)
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d: rendezvous table: %w", cfg.Rank, err)
+	}
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) != cfg.World+1 || fields[0] != "ADDRS" {
+		return nil, fmt.Errorf("comm: rank %d: malformed rendezvous table %q", cfg.Rank, line)
+	}
+	return fields[1:], nil
+}
+
+// connectMesh establishes one duplex connection per peer pair: this rank
+// dials every lower rank and accepts from every higher rank.
+func (t *TCPTransport) connectMesh(cfg TCPConfig, dataLn net.Listener, addrs []string, deadline time.Time) error {
+	type result struct {
+		peer *tcpPeer
+		err  error
+	}
+	want := cfg.World - 1
+	results := make(chan result, cfg.World)
+	var producers sync.WaitGroup
+
+	if tl, ok := dataLn.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	producers.Add(1 + cfg.Rank)
+	go func() { // accept side: peers with a higher rank dial us
+		defer producers.Done()
+		for i := 0; i < cfg.World-1-cfg.Rank; i++ {
+			conn, err := dataLn.Accept()
+			if err != nil {
+				results <- result{err: fmt.Errorf("comm: rank %d: mesh accept: %w", cfg.Rank, err)}
+				return
+			}
+			conn.SetDeadline(deadline)
+			br := bufio.NewReaderSize(conn, 1<<16)
+			var r int
+			if _, err := fmt.Fscanf(br, "PEER %d\n", &r); err != nil {
+				conn.Close()
+				results <- result{err: fmt.Errorf("comm: rank %d: bad mesh hello: %w", cfg.Rank, err)}
+				return
+			}
+			if r <= cfg.Rank || r >= cfg.World {
+				conn.Close()
+				results <- result{err: fmt.Errorf("comm: rank %d: mesh hello from unexpected rank %d", cfg.Rank, r)}
+				return
+			}
+			results <- result{peer: &tcpPeer{rank: r, conn: conn.(*net.TCPConn), br: br}}
+		}
+	}()
+	for j := 0; j < cfg.Rank; j++ { // dial side: we dial every lower rank
+		go func(j int) {
+			defer producers.Done()
+			conn, err := net.DialTimeout("tcp", addrs[j], time.Until(deadline))
+			if err != nil {
+				results <- result{err: fmt.Errorf("comm: rank %d: dial peer %d at %s: %w", cfg.Rank, j, addrs[j], err)}
+				return
+			}
+			conn.SetDeadline(deadline)
+			if _, err := fmt.Fprintf(conn, "PEER %d\n", cfg.Rank); err != nil {
+				conn.Close()
+				results <- result{err: fmt.Errorf("comm: rank %d: mesh hello to peer %d: %w", cfg.Rank, j, err)}
+				return
+			}
+			results <- result{peer: &tcpPeer{rank: j, conn: conn.(*net.TCPConn), br: bufio.NewReaderSize(conn, 1<<16)}}
+		}(j)
+	}
+	go func() { producers.Wait(); close(results) }()
+
+	// On error, late results must not leak their connections: the caller
+	// closes dataLn (unblocking the accept goroutine), and this drain
+	// goroutine disposes of whatever the producers still deliver.
+	fail := func(err error) error {
+		go func() {
+			for res := range results {
+				if res.peer != nil {
+					res.peer.conn.Close()
+				}
+			}
+		}()
+		return err
+	}
+	for i := 0; i < want; i++ {
+		res, ok := <-results
+		if !ok {
+			return fail(fmt.Errorf("comm: rank %d: mesh bootstrap ended with %d of %d peers", cfg.Rank, i, want))
+		}
+		if res.err != nil {
+			return fail(res.err)
+		}
+		p := res.peer
+		if t.peers[p.rank] != nil {
+			p.conn.Close()
+			return fail(fmt.Errorf("comm: rank %d: duplicate connection from rank %d", cfg.Rank, p.rank))
+		}
+		p.conn.SetDeadline(time.Time{})
+		p.conn.SetNoDelay(true)
+		p.queues = make(map[int]chan frame)
+		p.gone = make(chan struct{})
+		t.peers[p.rank] = p
+	}
+	return nil
+}
+
+// Rank returns this endpoint's id in [0, Size).
+func (t *TCPTransport) Rank() int { return t.rank }
+
+// Size returns the world size.
+func (t *TCPTransport) Size() int { return t.world }
+
+func (t *TCPTransport) peer(r int) *tcpPeer {
+	if r < 0 || r >= t.world || r == t.rank {
+		panic(fmt.Sprintf("comm: rank %d: no connection to rank %d", t.rank, r))
+	}
+	return t.peers[r]
+}
+
+// failure returns the panic value for the recorded transport failure.
+func (t *TCPTransport) failure() *TransportError {
+	return &TransportError{Rank: t.rank, Err: t.failErr}
+}
+
+// fail records the first failure, wakes every blocked operation, and tears
+// down all connections so peers observe the failure too.
+func (t *TCPTransport) fail(err error) {
+	t.failOn.Do(func() {
+		t.failErr = err
+		close(t.failCh)
+		for _, p := range t.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+	})
+}
+
+// Err reports the failure that brought the transport down, or nil.
+func (t *TCPTransport) Err() error {
+	select {
+	case <-t.failCh:
+		return t.failErr
+	default:
+		return nil
+	}
+}
+
+// Abort tears the transport down without the graceful goodbye: connections
+// are reset, so every peer observes a connection error promptly. Used when
+// an epoch fails mid-protocol (the surviving ranks must not be left blocked
+// on messages that will never come) and by fault-injection tests to emulate
+// a killed rank.
+func (t *TCPTransport) Abort() {
+	t.fail(fmt.Errorf("transport aborted"))
+}
+
+// readLoop demultiplexes one peer connection into per-tag queues.
+func (t *TCPTransport) readLoop(p *tcpPeer) {
+	defer t.readers.Done()
+	for {
+		fr, err := readFrame(p.br)
+		if err != nil {
+			if t.closed.Load() {
+				return // local Close is tearing the connection down
+			}
+			t.fail(fmt.Errorf("peer %d is gone: %v (process died or connection lost mid-epoch)", p.rank, err))
+			return
+		}
+		if fr.dtype == dtypeCtrl && fr.tag == tagBye {
+			close(p.gone)
+			return
+		}
+		q := p.queue(fr.tag, t.queueCap)
+		select {
+		case q <- fr:
+		default:
+			// Queue full: block — backpressuring the connection, the same
+			// never-drop semantics as the channel backend — but stay
+			// responsive to transport failure.
+			select {
+			case q <- fr:
+			case <-t.failCh:
+				return
+			}
+		}
+	}
+}
+
+func (p *tcpPeer) queue(tag, capacity int) chan frame {
+	p.qmu.Lock()
+	q := p.queues[tag]
+	if q == nil {
+		q = make(chan frame, capacity)
+		p.queues[tag] = q
+	}
+	p.qmu.Unlock()
+	return q
+}
+
+// sendFrame serializes and writes one frame; payloadBytes < 0 marks control
+// traffic excluded from accounting.
+func (t *TCPTransport) sendFrame(dst int, payloadBytes int, encode func([]byte) ([]byte, error)) {
+	select {
+	case <-t.failCh:
+		panic(t.failure())
+	default:
+	}
+	p := t.peer(dst)
+	p.wmu.Lock()
+	buf, err := encode(p.wbuf[:0])
+	var wire int
+	if err == nil {
+		p.wbuf = buf
+		wire = len(buf)
+		_, err = p.conn.Write(buf)
+	}
+	p.wmu.Unlock()
+	if err != nil {
+		t.fail(fmt.Errorf("send to peer %d: %w", dst, err))
+		panic(t.failure())
+	}
+	t.wireSent.Add(int64(wire))
+	if payloadBytes >= 0 {
+		t.bytesSent.Add(int64(payloadBytes))
+		t.msgsSent.Add(1)
+	}
+}
+
+func checkAppTag(tag int) {
+	if tag < 0 || tag >= tagReservedBase {
+		panic(fmt.Sprintf("comm: application tag %d outside [0,%d)", tag, tagReservedBase))
+	}
+}
+
+// SendF32 sends a float32 payload to dst with a tag. Unlike the channel
+// backend the payload is serialized before Send returns, so the caller's
+// buffer is free immediately — but callers must still follow the stricter
+// channel-backend ownership rule to stay backend-portable.
+func (t *TCPTransport) SendF32(dst, tag int, data []float32) {
+	checkAppTag(tag)
+	t.sendFrame(dst, 4*len(data), func(b []byte) ([]byte, error) {
+		return appendFrameF32(b, tag, data)
+	})
+}
+
+// SendI32 sends an int32 payload to dst with a tag.
+func (t *TCPTransport) SendI32(dst, tag int, data []int32) {
+	checkAppTag(tag)
+	t.sendFrame(dst, 4*len(data), func(b []byte) ([]byte, error) {
+		return appendFrameI32(b, tag, data)
+	})
+}
+
+// recv blocks until a frame with the given tag arrives from src, the peer
+// says goodbye, or the transport fails (the latter two panic with a
+// descriptive error instead of deadlocking).
+func (t *TCPTransport) recv(src, tag int, want byte) frame {
+	p := t.peer(src)
+	q := p.queue(tag, t.queueCap)
+	var fr frame
+	select {
+	case fr = <-q:
+	default:
+		select {
+		case fr = <-q:
+		case <-t.failCh:
+			// A frame may have been queued between the poll above and the
+			// failure; prefer delivering it.
+			select {
+			case fr = <-q:
+			default:
+				panic(t.failure())
+			}
+		case <-p.gone:
+			select {
+			case fr = <-q:
+			default:
+				panic(&TransportError{Rank: t.rank, Err: fmt.Errorf(
+					"peer %d closed its transport while rank %d still expected tag %d", src, t.rank, tag)})
+			}
+		}
+	}
+	if fr.dtype != want {
+		panic(&TransportError{Rank: t.rank, Err: fmt.Errorf(
+			"protocol bug: expected dtype %d on tag %d from peer %d, got %d", want, tag, src, fr.dtype)})
+	}
+	return fr
+}
+
+// RecvF32 receives the next float32 message from src with the given tag.
+func (t *TCPTransport) RecvF32(src, tag int) []float32 {
+	checkAppTag(tag)
+	return payloadF32(t.recv(src, tag, dtypeF32).payload)
+}
+
+// RecvI32 receives the next int32 message from src with the given tag.
+func (t *TCPTransport) RecvI32(src, tag int) []int32 {
+	checkAppTag(tag)
+	return payloadI32(t.recv(src, tag, dtypeI32).payload)
+}
+
+// Barrier blocks until every rank has entered it. Implemented as gather-to-
+// rank-0 plus release fan-out over control frames, which are excluded from
+// byte accounting (the channel backend's barrier moves no bytes either).
+func (t *TCPTransport) Barrier() {
+	if t.world == 1 {
+		return
+	}
+	if t.rank == 0 {
+		for r := 1; r < t.world; r++ {
+			t.recv(r, tagBarrierEnter, dtypeCtrl)
+		}
+		for r := 1; r < t.world; r++ {
+			t.sendCtrl(r, tagBarrierLeave)
+		}
+	} else {
+		t.sendCtrl(0, tagBarrierEnter)
+		t.recv(0, tagBarrierLeave, dtypeCtrl)
+	}
+}
+
+func (t *TCPTransport) sendCtrl(dst, tag int) {
+	t.sendFrame(dst, -1, func(b []byte) ([]byte, error) {
+		return appendFrameBytes(b, tag, dtypeCtrl, nil)
+	})
+}
+
+// BytesSent returns the payload bytes this rank has sent since the last
+// ResetCounters — headers and control traffic excluded, so the figure is
+// comparable across backends and feeds the cost model unchanged.
+func (t *TCPTransport) BytesSent() int64 { return t.bytesSent.Load() }
+
+// MessagesSent returns the number of payload messages sent.
+func (t *TCPTransport) MessagesSent() int64 { return t.msgsSent.Load() }
+
+// WireBytesSent returns the total bytes written to sockets, including the
+// 12-byte frame headers and control frames; WireBytesSent−BytesSent is the
+// transport's framing overhead.
+func (t *TCPTransport) WireBytesSent() int64 { return t.wireSent.Load() }
+
+// ResetCounters zeroes the payload byte and message counters (wire bytes
+// included).
+func (t *TCPTransport) ResetCounters() {
+	t.bytesSent.Store(0)
+	t.msgsSent.Store(0)
+	t.wireSent.Store(0)
+}
+
+// Close shuts the endpoint down gracefully: a goodbye frame tells each peer
+// that no more data is coming (so their pending receives fail with a
+// "closed" error rather than a connection error), then connections are
+// closed and the demux goroutines reaped. Close after a failure returns the
+// recorded error.
+func (t *TCPTransport) Close() error {
+	if t.closed.Swap(true) {
+		t.readers.Wait()
+		return t.Err()
+	}
+	if t.Err() == nil {
+		for r := range t.peers {
+			if t.peers[r] == nil {
+				continue
+			}
+			func() {
+				defer func() { recover() }() // peer may already be gone; goodbye is best-effort
+				t.sendCtrl(r, tagBye)
+			}()
+		}
+	}
+	for _, p := range t.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+	t.readers.Wait()
+	return t.Err()
+}

@@ -1,0 +1,299 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Transport is one rank's endpoint on a communication backend: tagged
+// point-to-point sends and receives of float32/int32 payloads among k ranks,
+// a barrier, and exact payload-byte accounting. Two backends exist:
+//
+//   - ChanTransport: k goroutines in one process over Go channels (zero-copy,
+//     allocation-free); created in bulk by New.
+//   - TCPTransport: one OS process per rank over persistent TCP connections;
+//     created by DialTCP with a rendezvous address.
+//
+// Semantics every backend must provide — the training protocol and the
+// collectives in Worker rely on all four:
+//
+//   - messages between a (src,dst) pair with the same tag arrive in send
+//     order (per-pair FIFO);
+//   - Send blocks only for backpressure (bounded queues) and never drops;
+//   - Recv blocks until a matching message arrives or the transport fails,
+//     in which case it panics with a descriptive error (converted to an
+//     ordinary error at the epoch boundary by RankTrainer.TrainEpoch)
+//     rather than deadlocking;
+//   - BytesSent counts exactly 4 bytes per payload element and nothing else
+//     (no headers, no barrier traffic), so byte accounting is
+//     backend-independent and feeds the cost model unchanged.
+//
+// The payload passed to Send is owned by the transport until delivery: the
+// sender must not mutate it afterwards (ChanTransport passes the slice by
+// reference, matching RDMA semantics; TCPTransport serializes it before
+// returning, which is strictly safer). Backends need not support sending to
+// the local rank; the training protocol never does.
+type Transport interface {
+	Rank() int
+	Size() int
+	SendF32(dst, tag int, data []float32)
+	SendI32(dst, tag int, data []int32)
+	RecvF32(src, tag int) []float32
+	RecvI32(src, tag int) []int32
+	Barrier()
+	BytesSent() int64
+	MessagesSent() int64
+	ResetCounters()
+	// Abort fails the transport: every blocked and subsequent Send/Recv —
+	// on this rank and, transitively, on every peer — panics with a
+	// descriptive error instead of waiting forever. Called when an epoch
+	// dies mid-protocol so the other ranks are not left deadlocked on
+	// messages that will never arrive.
+	Abort()
+	Close() error
+}
+
+// ringScratch holds the per-rank send buffer for the ring AllReduce's first
+// reduce-scatter step (the only message whose payload cannot alias the
+// caller's data). Two buffers alternate by call parity: before a rank can be
+// two collectives ahead, its successor must have drained every message of
+// the collective two back (each send in the ring transitively requires the
+// whole ring to have progressed), so the buffer being rewritten is never
+// still queued.
+type ringScratch struct {
+	bufs  [2][]float32
+	calls uint64
+}
+
+// Worker is one rank's handle: the transport primitives plus the collectives
+// built on top of them (ring AllReduce, variable AllGather). Methods on a
+// Worker must be called only from the goroutine driving that rank.
+type Worker struct {
+	t    Transport
+	ring ringScratch
+}
+
+// NewWorker wraps a transport endpoint. Collective scratch state lives in
+// the Worker, so one rank must keep using the same Worker across epochs.
+func NewWorker(t Transport) *Worker { return &Worker{t: t} }
+
+// Transport returns the underlying backend endpoint.
+func (w *Worker) Transport() Transport { return w.t }
+
+// Rank returns this worker's id in [0, Size).
+func (w *Worker) Rank() int { return w.t.Rank() }
+
+// Size returns the cluster size.
+func (w *Worker) Size() int { return w.t.Size() }
+
+// SendF32 sends a float32 payload to dst with a tag. The payload is owned by
+// the transport until delivery; the sender must not mutate it afterwards.
+func (w *Worker) SendF32(dst, tag int, data []float32) { w.t.SendF32(dst, tag, data) }
+
+// SendI32 sends an int32 payload to dst with a tag.
+func (w *Worker) SendI32(dst, tag int, data []int32) { w.t.SendI32(dst, tag, data) }
+
+// RecvF32 receives the next float32 message from src, which must carry the
+// expected tag; a tag mismatch means a protocol bug and panics.
+func (w *Worker) RecvF32(src, tag int) []float32 { return w.t.RecvF32(src, tag) }
+
+// RecvI32 receives the next int32 message from src with the expected tag.
+func (w *Worker) RecvI32(src, tag int) []int32 { return w.t.RecvI32(src, tag) }
+
+// Barrier blocks until every rank has entered it.
+func (w *Worker) Barrier() { w.t.Barrier() }
+
+// AllReduceSum sums data elementwise across all workers; on return every
+// worker's slice holds the global sum, bit-identical on every rank.
+//
+// The implementation is a ring reduce-scatter followed by a ring all-gather
+// (the collective structure NCCL and Gloo use): data is split into m chunks;
+// in m−1 steps each rank forwards a partially-reduced chunk to its successor
+// while accumulating the chunk arriving from its predecessor, leaving rank r
+// with the fully-reduced chunk (r+1) mod m; m−1 further forwarding steps
+// distribute the finished chunks. Every rank sends 2(m−1)·n/m ≈ 2n floats
+// regardless of m, versus the O(m·n) a reduce-to-root places on rank 0.
+// Each chunk's final value is computed once and copied verbatim by the
+// all-gather, so all ranks observe identical bits — on every backend, since
+// the arithmetic never depends on how payloads move.
+func (w *Worker) AllReduceSum(data []float32, tag int) {
+	m := w.Size()
+	n := len(data)
+	if m == 1 || n == 0 {
+		return
+	}
+	lo := func(c int) int { return c * n / m }
+	hi := func(c int) int { return (c + 1) * n / m }
+	rank := w.Rank()
+	next := (rank + 1) % m
+	prev := (rank + m - 1) % m
+
+	// Step-0 send must not alias data (the chunk is overwritten by the
+	// all-gather before the message is necessarily consumed); copy it into
+	// the parity-alternating scratch buffer. Every later send forwards a
+	// received buffer, whose ownership travels with the message.
+	rs := &w.ring
+	scratch := rs.bufs[rs.calls&1]
+	rs.calls++
+	sz := hi(rank) - lo(rank)
+	if cap(scratch) < sz {
+		scratch = make([]float32, sz)
+		rs.bufs[(rs.calls-1)&1] = scratch
+	}
+	scratch = scratch[:sz]
+	copy(scratch, data[lo(rank):hi(rank)])
+	w.SendF32(next, tag, scratch)
+
+	// Reduce-scatter: accumulate the incoming chunk into the received
+	// buffer (data stays untouched until the final values arrive) and pass
+	// it on.
+	var part []float32
+	for s := 0; s < m-1; s++ {
+		c := (rank - s - 1 + m) % m
+		part = w.RecvF32(prev, tag)
+		seg := data[lo(c):hi(c)]
+		if len(part) != len(seg) {
+			panic(fmt.Sprintf("comm: allreduce length mismatch %d vs %d", len(part), len(seg)))
+		}
+		for i, v := range seg {
+			part[i] += v
+		}
+		if s < m-2 {
+			w.SendF32(next, tag, part)
+		}
+	}
+
+	// part now holds the fully reduced chunk (rank+1) mod m.
+	done := (rank + 1) % m
+	copy(data[lo(done):hi(done)], part)
+
+	// All-gather: circulate the finished chunks around the ring.
+	w.SendF32(next, tag+1, part)
+	for s := 0; s < m-1; s++ {
+		c := (rank - s + m) % m
+		got := w.RecvF32(prev, tag+1)
+		copy(data[lo(c):hi(c)], got)
+		if s < m-2 {
+			w.SendF32(next, tag+1, got)
+		}
+	}
+}
+
+// AllGatherI32 gathers each worker's variable-length int32 slice; the result
+// is indexed by rank and identical on every worker.
+func (w *Worker) AllGatherI32(data []int32, tag int) [][]int32 {
+	m := w.Size()
+	out := make([][]int32, m)
+	own := make([]int32, len(data))
+	copy(own, data)
+	out[w.Rank()] = own
+	for dst := 0; dst < m; dst++ {
+		if dst != w.Rank() {
+			w.SendI32(dst, tag, own)
+		}
+	}
+	for src := 0; src < m; src++ {
+		if src != w.Rank() {
+			out[src] = w.RecvI32(src, tag)
+		}
+	}
+	return out
+}
+
+// Group drives k co-located transport endpoints from one process: one
+// persistent Worker per rank plus the Run fan-out the in-process trainer
+// uses. The endpoints can belong to any backend — k ChanTransports of one
+// in-process cluster (what New returns) or k loopback TCPTransports (what
+// the cross-backend equivalence tests build) — which is what makes
+// core.NewParallelTrainerOver backend-agnostic.
+type Group struct {
+	workers []Worker
+}
+
+// NewGroup assembles a group from one endpoint per rank; ts[i] must be the
+// endpoint for rank i and all endpoints must agree on the group size.
+func NewGroup(ts []Transport) *Group {
+	if len(ts) == 0 {
+		panic("comm: empty transport group")
+	}
+	g := &Group{workers: make([]Worker, len(ts))}
+	for i, t := range ts {
+		if t.Rank() != i || t.Size() != len(ts) {
+			panic(fmt.Sprintf("comm: transport %d reports rank %d of %d, want rank %d of %d",
+				i, t.Rank(), t.Size(), i, len(ts)))
+		}
+		g.workers[i] = Worker{t: t}
+	}
+	return g
+}
+
+// Size returns the number of workers.
+func (g *Group) Size() int { return len(g.workers) }
+
+// Worker returns the handle for the given rank.
+func (g *Group) Worker(rank int) *Worker {
+	if rank < 0 || rank >= len(g.workers) {
+		panic(fmt.Sprintf("comm: rank %d out of [0,%d)", rank, len(g.workers)))
+	}
+	return &g.workers[rank]
+}
+
+// Run executes fn concurrently on every worker and waits for all to finish.
+// A panic in any worker is re-raised (first one wins) after all goroutines
+// have stopped or panicked.
+func (g *Group) Run(fn func(w *Worker)) {
+	var wg sync.WaitGroup
+	panics := make(chan any, len(g.workers))
+	for r := range g.workers {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- p
+				}
+			}()
+			fn(g.Worker(rank))
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// BytesSent returns the total payload bytes sent by rank since the last
+// ResetCounters.
+func (g *Group) BytesSent(rank int) int64 { return g.workers[rank].t.BytesSent() }
+
+// TotalBytesSent sums BytesSent over all workers.
+func (g *Group) TotalBytesSent() int64 {
+	var t int64
+	for r := range g.workers {
+		t += g.workers[r].t.BytesSent()
+	}
+	return t
+}
+
+// MessagesSent returns the number of messages sent by rank.
+func (g *Group) MessagesSent(rank int) int64 { return g.workers[rank].t.MessagesSent() }
+
+// ResetCounters zeroes all byte and message counters.
+func (g *Group) ResetCounters() {
+	for r := range g.workers {
+		g.workers[r].t.ResetCounters()
+	}
+}
+
+// Close closes every endpoint in the group and returns the first error.
+func (g *Group) Close() error {
+	var first error
+	for r := range g.workers {
+		if err := g.workers[r].t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

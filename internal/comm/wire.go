@@ -1,0 +1,177 @@
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+)
+
+// Wire codec for the TCP transport. Every frame is a fixed 12-byte
+// little-endian header followed by the payload:
+//
+//	offset 0: uint32 tag
+//	offset 4: uint8  dtype (dtypeF32, dtypeI32, dtypeCtrl)
+//	offset 5: three reserved bytes, must be zero
+//	offset 8: uint32 nelems — number of 4-byte payload elements
+//
+// The header carries an element count rather than a byte length so a frame
+// can never describe a payload that is not a multiple of the element size,
+// and nelems is capped at maxFrameElems so a corrupt or hostile header
+// cannot make the reader allocate unboundedly. Decoding rejects truncated
+// input, oversized lengths, unknown dtypes, and non-zero reserved bytes
+// with errors — never panics — which FuzzFrameRoundTrip exercises.
+
+const (
+	frameHeaderSize = 12
+	maxFrameElems   = 1 << 28 // 1 GiB of payload
+
+	dtypeF32  byte = 0
+	dtypeI32  byte = 1
+	dtypeCtrl byte = 2 // transport-internal: barrier, goodbye, handshake
+)
+
+// frame is one decoded wire message. payload holds the raw little-endian
+// element bytes (len = 4·nelems) and is owned by the frame.
+type frame struct {
+	tag     int
+	dtype   byte
+	payload []byte
+}
+
+// encodeFrameHeader validates and appends the 12-byte header.
+func encodeFrameHeader(dst []byte, tag int, dtype byte, nelems int) ([]byte, error) {
+	if tag < 0 || int64(tag) > math.MaxUint32 {
+		return dst, fmt.Errorf("comm: frame tag %d outside uint32", tag)
+	}
+	if dtype > dtypeCtrl {
+		return dst, fmt.Errorf("comm: unknown frame dtype %d", dtype)
+	}
+	if nelems < 0 || nelems > maxFrameElems {
+		return dst, fmt.Errorf("comm: frame length %d elements exceeds cap %d", nelems, maxFrameElems)
+	}
+	var h [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(h[0:], uint32(tag))
+	h[4] = dtype
+	binary.LittleEndian.PutUint32(h[8:], uint32(nelems))
+	return append(dst, h[:]...), nil
+}
+
+// appendFrameBytes appends a whole frame whose payload is already serialized
+// (len must be a multiple of 4).
+func appendFrameBytes(dst []byte, tag int, dtype byte, payload []byte) ([]byte, error) {
+	if len(payload)%4 != 0 {
+		return dst, fmt.Errorf("comm: frame payload %d bytes is not element-aligned", len(payload))
+	}
+	dst, err := encodeFrameHeader(dst, tag, dtype, len(payload)/4)
+	if err != nil {
+		return dst, err
+	}
+	return append(dst, payload...), nil
+}
+
+// appendFrameF32 serializes a float32 payload frame.
+func appendFrameF32(dst []byte, tag int, data []float32) ([]byte, error) {
+	dst, err := encodeFrameHeader(dst, tag, dtypeF32, len(data))
+	if err != nil {
+		return dst, err
+	}
+	n := len(dst)
+	dst = slices.Grow(dst, 4*len(data))[:n+4*len(data)]
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(dst[n+4*i:], math.Float32bits(v))
+	}
+	return dst, nil
+}
+
+// appendFrameI32 serializes an int32 payload frame.
+func appendFrameI32(dst []byte, tag int, data []int32) ([]byte, error) {
+	dst, err := encodeFrameHeader(dst, tag, dtypeI32, len(data))
+	if err != nil {
+		return dst, err
+	}
+	n := len(dst)
+	dst = slices.Grow(dst, 4*len(data))[:n+4*len(data)]
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(dst[n+4*i:], uint32(v))
+	}
+	return dst, nil
+}
+
+// parseFrameHeader validates a 12-byte header and returns (tag, dtype,
+// nelems).
+func parseFrameHeader(h []byte) (int, byte, int, error) {
+	if len(h) < frameHeaderSize {
+		return 0, 0, 0, fmt.Errorf("comm: truncated frame header: %d of %d bytes", len(h), frameHeaderSize)
+	}
+	tag := int(binary.LittleEndian.Uint32(h[0:]))
+	dtype := h[4]
+	if dtype > dtypeCtrl {
+		return 0, 0, 0, fmt.Errorf("comm: unknown frame dtype %d", dtype)
+	}
+	if h[5] != 0 || h[6] != 0 || h[7] != 0 {
+		return 0, 0, 0, fmt.Errorf("comm: non-zero reserved bytes in frame header")
+	}
+	// Compare as uint32: on 32-bit platforms int(n) would wrap negative for
+	// n ≥ 2³¹ and slip past a signed bound check into a panicking make.
+	n := binary.LittleEndian.Uint32(h[8:])
+	if n > maxFrameElems {
+		return 0, 0, 0, fmt.Errorf("comm: frame length %d elements exceeds cap %d", n, maxFrameElems)
+	}
+	return tag, dtype, int(n), nil
+}
+
+// decodeFrame parses one frame from the front of b, returning the frame and
+// the number of bytes consumed. The frame's payload aliases b. Truncated or
+// malformed input yields an error, never a panic.
+func decodeFrame(b []byte) (frame, int, error) {
+	tag, dtype, nelems, err := parseFrameHeader(b)
+	if err != nil {
+		return frame{}, 0, err
+	}
+	need := frameHeaderSize + 4*nelems
+	if len(b) < need {
+		return frame{}, 0, fmt.Errorf("comm: truncated frame payload: %d of %d bytes", len(b)-frameHeaderSize, 4*nelems)
+	}
+	return frame{tag: tag, dtype: dtype, payload: b[frameHeaderSize:need]}, need, nil
+}
+
+// readFrame reads one frame from r, allocating the payload (its ownership
+// passes to the eventual receiver).
+func readFrame(r io.Reader) (frame, error) {
+	var h [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return frame{}, err
+	}
+	tag, dtype, nelems, err := parseFrameHeader(h[:])
+	if err != nil {
+		return frame{}, err
+	}
+	payload := make([]byte, 4*nelems)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return frame{}, err
+	}
+	return frame{tag: tag, dtype: dtype, payload: payload}, nil
+}
+
+// payloadF32 decodes a frame payload into float32s (exact bit round-trip).
+func payloadF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// payloadI32 decodes a frame payload into int32s.
+func payloadI32(b []byte) []int32 {
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}

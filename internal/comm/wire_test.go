@@ -1,0 +1,136 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"slices"
+	"testing"
+)
+
+func TestFrameF32BitExactRoundTrip(t *testing.T) {
+	in := []float32{0, -0, 1.5, float32(math.Inf(1)), float32(math.NaN()), math.SmallestNonzeroFloat32}
+	enc, err := appendFrameF32(nil, 123, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, n, err := decodeFrame(enc)
+	if err != nil || n != len(enc) {
+		t.Fatalf("decode: n=%d err=%v", n, err)
+	}
+	if fr.tag != 123 || fr.dtype != dtypeF32 {
+		t.Fatalf("header round-trip: %+v", fr)
+	}
+	out := payloadF32(fr.payload)
+	for i := range in {
+		if math.Float32bits(in[i]) != math.Float32bits(out[i]) {
+			t.Fatalf("elem %d: %x != %x", i, math.Float32bits(in[i]), math.Float32bits(out[i]))
+		}
+	}
+}
+
+func TestFrameI32RoundTrip(t *testing.T) {
+	in := []int32{0, -1, math.MinInt32, math.MaxInt32, 7}
+	enc, err := appendFrameI32(nil, 0, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, _, err := decodeFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := payloadI32(fr.payload); !slices.Equal(in, out) {
+		t.Fatalf("%v != %v", in, out)
+	}
+}
+
+func TestReadFrameMatchesDecodeFrame(t *testing.T) {
+	enc, err := appendFrameI32(nil, 9, []int32{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := readFrame(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr2, _, err := decodeFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.tag != fr2.tag || fr.dtype != fr2.dtype || !bytes.Equal(fr.payload, fr2.payload) {
+		t.Fatalf("readFrame %+v != decodeFrame %+v", fr, fr2)
+	}
+}
+
+func TestFrameRejectsMalformedInput(t *testing.T) {
+	if _, err := appendFrameBytes(nil, -1, dtypeF32, nil); err == nil {
+		t.Fatal("negative tag accepted")
+	}
+	if _, err := appendFrameBytes(nil, 0, 99, nil); err == nil {
+		t.Fatal("unknown dtype accepted")
+	}
+	if _, err := appendFrameBytes(nil, 0, dtypeF32, make([]byte, 6)); err == nil {
+		t.Fatal("unaligned payload accepted")
+	}
+	valid, _ := appendFrameF32(nil, 1, []float32{1, 2})
+	oversize := slices.Clone(valid)
+	binary.LittleEndian.PutUint32(oversize[8:], maxFrameElems+1)
+	if _, _, err := decodeFrame(oversize); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+	reserved := slices.Clone(valid)
+	reserved[5] = 1
+	if _, _, err := decodeFrame(reserved); err == nil {
+		t.Fatal("non-zero reserved byte accepted")
+	}
+}
+
+// FuzzFrameRoundTrip asserts the codec's two contracts under arbitrary
+// input: every encodable frame decodes back to identical bits, and every
+// byte string — truncated frames, oversized lengths, garbage — is rejected
+// with an error, never a panic or an over-read.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint32(0), byte(0), []byte{})
+	f.Add(uint32(910), byte(1), []byte{1, 2, 3, 4})
+	f.Add(uint32(tagBye), byte(2), make([]byte, 64))
+	f.Add(uint32(math.MaxUint32), byte(0), []byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, tag uint32, dtype byte, raw []byte) {
+		payload := raw[:len(raw)/4*4]
+		enc, err := appendFrameBytes(nil, int(tag), dtype%3, payload)
+		if err != nil {
+			t.Fatalf("encoding a valid frame failed: %v", err)
+		}
+		fr, n, err := decodeFrame(enc)
+		if err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if n != len(enc) || fr.tag != int(tag) || fr.dtype != dtype%3 || !bytes.Equal(fr.payload, payload) {
+			t.Fatalf("round trip mismatch: consumed %d of %d, got %+v", n, len(enc), fr)
+		}
+
+		// Any strict prefix is truncated and must be rejected, not panic.
+		for _, cut := range []int{0, 1, frameHeaderSize - 1, len(enc) - 1} {
+			if cut < 0 || cut >= len(enc) {
+				continue
+			}
+			if _, _, err := decodeFrame(enc[:cut]); err == nil {
+				t.Fatalf("truncation to %d of %d bytes accepted", cut, len(enc))
+			}
+			if _, err := readFrame(bytes.NewReader(enc[:cut])); err == nil {
+				t.Fatalf("readFrame accepted truncation to %d bytes", cut)
+			}
+		}
+
+		// A length field pointing past the cap must be rejected before any
+		// allocation happens.
+		oversize := slices.Clone(enc)
+		binary.LittleEndian.PutUint32(oversize[8:], maxFrameElems+1)
+		if _, _, err := decodeFrame(oversize); err == nil {
+			t.Fatal("oversized length accepted")
+		}
+
+		// Raw fuzz bytes interpreted as a frame: any outcome but a panic.
+		decodeFrame(raw)
+		readFrame(bytes.NewReader(raw))
+	})
+}

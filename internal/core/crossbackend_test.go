@@ -1,0 +1,194 @@
+package core
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm"
+)
+
+// tcpLoopbackGroup bootstraps k TCP transports over 127.0.0.1 and wraps them
+// in a comm.Group so the in-process trainer can drive real sockets.
+func tcpLoopbackGroup(t testing.TB, k int) *comm.Group {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]comm.Transport, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for r := 0; r < k; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cfg := comm.TCPConfig{Rank: r, World: k, Rendezvous: ln.Addr().String(), Timeout: 10 * time.Second}
+			if r == 0 {
+				cfg.RendezvousListener = ln
+			}
+			ts[r], errs[r] = comm.DialTCP(cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	g := comm.NewGroup(ts)
+	t.Cleanup(func() { g.Close() })
+	return g
+}
+
+// TestTCPBackendBitIdenticalToChan is the cross-backend equivalence proof:
+// the same seeded dataset trained for 5 epochs over the in-process channel
+// backend and over real loopback TCP sockets must produce bit-identical
+// weights on every rank, bit-identical losses, and identical per-rank
+// payload byte and message counts — for k ∈ {2, 4} and p < 1 (so boundary
+// sampling, halo exchange, and the ring AllReduce all carry traffic).
+func TestTCPBackendBitIdenticalToChan(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		ds := testDataset(t, uint64(90+k))
+		topo := testTopology(t, ds, k)
+		cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 11}
+
+		chanTr, err := NewParallelTrainer(ds, topo, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcpTr, err := NewParallelTrainerOver(ds, topo, cfg, tcpLoopbackGroup(t, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const epochs = 5
+		for e := 0; e < epochs; e++ {
+			a := chanTr.TrainEpoch()
+			b := tcpTr.TrainEpoch()
+			if a.Loss != b.Loss {
+				t.Fatalf("k=%d epoch %d: chan loss %.17g != tcp loss %.17g", k, e, a.Loss, b.Loss)
+			}
+			if a.CommBytes != b.CommBytes || a.ReduceBytes != b.ReduceBytes {
+				t.Fatalf("k=%d epoch %d: traffic diverged: chan (%d,%d) vs tcp (%d,%d)",
+					k, e, a.CommBytes, a.ReduceBytes, b.CommBytes, b.ReduceBytes)
+			}
+		}
+		for r := 0; r < k; r++ {
+			if d := MaxParamDiff(chanTr.Models[r], tcpTr.Models[r]); d != 0 {
+				t.Fatalf("k=%d rank %d: weights diverged across backends by %v", k, r, d)
+			}
+			if cb, tb := chanTr.Cluster.BytesSent(r), tcpTr.Cluster.BytesSent(r); cb != tb {
+				t.Fatalf("k=%d rank %d: chan sent %d payload bytes, tcp sent %d", k, r, cb, tb)
+			}
+			if cm, tm := chanTr.Cluster.MessagesSent(r), tcpTr.Cluster.MessagesSent(r); cm != tm {
+				t.Fatalf("k=%d rank %d: chan sent %d messages, tcp sent %d", k, r, cm, tm)
+			}
+		}
+	}
+}
+
+// TestRankTrainerMatchesParallelTrainer: k independently constructed
+// RankTrainers driven by hand over a group must replay exactly what the
+// bundled ParallelTrainer computes — the property multi-process deployment
+// rests on, since each OS process bootstraps its own RankTrainer.
+func TestRankTrainerMatchesParallelTrainer(t *testing.T) {
+	ds := testDataset(t, 96)
+	const k = 3
+	topo := testTopology(t, ds, k)
+	cfg := ParallelConfig{Model: testModelConfig(), P: 0.4, SampleSeed: 5}
+
+	ref, err := NewParallelTrainer(ds, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := make([]*RankTrainer, k)
+	for r := 0; r < k; r++ {
+		if ranks[r], err = NewRankTrainer(ds, topo, cfg, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := comm.New(k, 0)
+	for e := 0; e < 4; e++ {
+		want := ref.TrainEpoch().Loss
+		losses := make([]float64, k)
+		g.Run(func(w *comm.Worker) {
+			st, err := ranks[w.Rank()].TrainEpoch(w)
+			if err != nil {
+				t.Errorf("rank %d: %v", w.Rank(), err)
+				return
+			}
+			losses[w.Rank()] = st.Loss
+		})
+		var got float64
+		for _, l := range losses {
+			got += l
+		}
+		if got != want {
+			t.Fatalf("epoch %d: rank-wise loss %v != bundled %v", e, got, want)
+		}
+	}
+	for r := 0; r < k; r++ {
+		if d := MaxParamDiff(ref.Models[r], ranks[r].Model); d != 0 {
+			t.Fatalf("rank %d diverged from bundled trainer by %v", r, d)
+		}
+	}
+}
+
+// TestEpochFailureSurfacesAsError: a panic inside one rank's epoch must come
+// back as an error from TrainEpoch — and abort the transport so peers fail
+// too instead of deadlocking on the unfinished protocol — on both backends.
+func TestEpochFailureSurfacesAsError(t *testing.T) {
+	ds := testDataset(t, 97)
+	const k = 2
+	topo := testTopology(t, ds, k)
+	cfg := ParallelConfig{Model: testModelConfig(), P: 1, SampleSeed: 1}
+
+	for _, backend := range []struct {
+		name  string
+		group func() *comm.Group
+	}{
+		{"chan", func() *comm.Group { return comm.New(k, 0) }},
+		{"tcp", func() *comm.Group { return tcpLoopbackGroup(t, k) }},
+	} {
+		ranks := make([]*RankTrainer, k)
+		for r := 0; r < k; r++ {
+			var err error
+			if ranks[r], err = NewRankTrainer(ds, topo, cfg, r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		g := backend.group()
+		errsCh := make(chan error, k)
+		done := make(chan struct{})
+		go func() {
+			g.Run(func(w *comm.Worker) {
+				if w.Rank() == 1 {
+					// Rank 1 dies before participating; rank 0 is left
+					// mid-protocol.
+					w.Transport().Abort()
+					errsCh <- nil
+					return
+				}
+				_, err := ranks[w.Rank()].TrainEpoch(w)
+				errsCh <- err
+			})
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("%s: surviving rank deadlocked on the dead peer", backend.name)
+		}
+		var got error
+		for i := 0; i < k; i++ {
+			if err := <-errsCh; err != nil {
+				got = err
+			}
+		}
+		if got == nil {
+			t.Fatalf("%s: rank 0 trained through a dead peer without error", backend.name)
+		}
+	}
+}

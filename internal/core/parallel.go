@@ -235,67 +235,167 @@ func (s *EpochStats) TotalTime() time.Duration {
 	return s.SampleTime + s.ComputeTime + s.CommTime + s.ReduceTime
 }
 
-// ParallelTrainer trains one model replica per partition with boundary node
-// sampling, following Algorithm 1. One goroutine per partition plays the
-// role of one GPU.
-type ParallelTrainer struct {
-	DS      *datagen.Dataset
-	Topo    *Topology
-	Cfg     ParallelConfig
-	Locals  []*LocalPartition
-	Cluster *comm.Cluster
-	Models  []*Model
-	opts    []optim.Optimizer
-	rngs    []*tensor.RNG
+// RankTrainer owns everything one rank needs to participate in BNS-GCN
+// training: its local partition, its model replica, optimizer and sampling
+// stream, and the per-epoch protocol. It is the unit of distribution — the
+// in-process ParallelTrainer drives k of them on goroutines over a channel
+// cluster, while a multi-process deployment runs exactly one per OS process
+// over a TCP transport (see cmd/bnsgcn's -rank/-world/-rendezvous flags).
+// Construction is deterministic given (dataset, topology, config, rank), so
+// independently bootstrapped processes hold bit-identical replicas.
+type RankTrainer struct {
+	DS    *datagen.Dataset
+	Topo  *Topology
+	Cfg   ParallelConfig
+	Rank  int
+	LP    *LocalPartition
+	Model *Model
+
+	opt optim.Optimizer
+	rng *tensor.RNG
 
 	globalTrainCount int
 	epoch            int
 	evalModel        *Model
 	evalTrainer      *FullTrainer
+	flatGrad         []float32 // reusable gradient AllReduce buffer
+}
 
-	// Per-rank reusable buffers for the gradient AllReduce and epoch stats.
-	flatGrads [][]float32
-	statsBuf  []workerStats
+// NewRankTrainer builds the local state for one rank of a k-way training
+// run. Every rank must be constructed with the same dataset, topology, and
+// config for the replicas to stay consistent.
+func NewRankTrainer(ds *datagen.Dataset, topo *Topology, cfg ParallelConfig, rank int) (*RankTrainer, error) {
+	if cfg.P < 0 || cfg.P > 1 {
+		return nil, fmt.Errorf("core: sampling rate p=%v outside [0,1]", cfg.P)
+	}
+	if rank < 0 || rank >= topo.K {
+		return nil, fmt.Errorf("core: rank %d out of [0,%d)", rank, topo.K)
+	}
+	model, err := NewModel(cfg.Model, ds.FeatureDim(), ds.NumClasses)
+	if err != nil {
+		return nil, err
+	}
+	rt := &RankTrainer{
+		DS:    ds,
+		Topo:  topo,
+		Cfg:   cfg,
+		Rank:  rank,
+		LP:    NewLocalPartition(ds, topo, rank),
+		Model: model,
+		opt:   optim.NewAdam(cfg.Model.LR),
+		rng:   tensor.NewRNG(cfg.SampleSeed + uint64(rank)*0x9e3779b9),
+	}
+	// The loss normalizer is the global number of training nodes, which is a
+	// property of the dataset alone — no cross-rank exchange needed.
+	for _, m := range ds.TrainMask {
+		if m {
+			rt.globalTrainCount++
+		}
+	}
+	rt.flatGrad = make([]float32, 0, nn.ParamCount(model.Layers()))
+	return rt, nil
+}
+
+// Epoch returns the number of completed training epochs.
+func (rt *RankTrainer) Epoch() int { return rt.epoch }
+
+// TrainEpoch runs one epoch of this rank's protocol over the worker's
+// transport and reports local statistics. Any panic inside the epoch —
+// including the transport failure raised when a peer dies — is converted to
+// an error, and the transport is aborted so every surviving rank observes a
+// connection error promptly instead of deadlocking on messages that will
+// never arrive.
+func (rt *RankTrainer) TrainEpoch(w *comm.Worker) (st RankStats, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			w.Transport().Abort()
+			err = fmt.Errorf("core: rank %d: epoch %d failed: %v", rt.Rank, rt.epoch, r)
+		}
+	}()
+	st = rt.runEpoch(w)
+	rt.epoch++
+	return st, nil
+}
+
+// Evaluate scores this rank's model replica on the given global mask with
+// exact full-graph inference (the paper reports full-graph test accuracy).
+// Replicas are bit-identical across ranks, so any rank's answer is the
+// global answer.
+func (rt *RankTrainer) Evaluate(mask []bool) float64 {
+	if rt.evalTrainer == nil {
+		model, err := NewModel(rt.Cfg.Model, rt.DS.FeatureDim(), rt.DS.NumClasses)
+		if err != nil {
+			panic(err)
+		}
+		rt.evalModel = model
+		rt.evalTrainer = &FullTrainer{DS: rt.DS, Model: model, invDeg: nn.InvDegrees(rt.DS.G)}
+	}
+	rt.evalModel.CopyWeightsFrom(rt.Model)
+	return rt.evalTrainer.Evaluate(mask)
+}
+
+// ParallelTrainer trains one model replica per partition with boundary node
+// sampling, following Algorithm 1: k RankTrainers driven concurrently over
+// a comm.Group, one goroutine per partition playing the role of one GPU.
+type ParallelTrainer struct {
+	DS      *datagen.Dataset
+	Topo    *Topology
+	Cfg     ParallelConfig
+	Ranks   []*RankTrainer
+	Locals  []*LocalPartition // aliases Ranks[i].LP
+	Cluster *comm.Cluster
+	Models  []*Model // aliases Ranks[i].Model
+
+	epoch    int
+	statsBuf []RankStats
 }
 
 // NewParallelTrainer builds local partitions, one model replica per worker
-// (identically initialized), and the communication cluster.
+// (identically initialized), and an in-process channel cluster.
 func NewParallelTrainer(ds *datagen.Dataset, topo *Topology, cfg ParallelConfig) (*ParallelTrainer, error) {
 	if cfg.P < 0 || cfg.P > 1 {
 		return nil, fmt.Errorf("core: sampling rate p=%v outside [0,1]", cfg.P)
 	}
+	return NewParallelTrainerOver(ds, topo, cfg, comm.New(topo.K, 0))
+}
+
+// NewParallelTrainerOver is the backend-agnostic constructor: it accepts any
+// group of k transport endpoints — the channel cluster NewParallelTrainer
+// defaults to, or k loopback TCP endpoints as the cross-backend equivalence
+// tests use — and drives the identical protocol over it.
+func NewParallelTrainerOver(ds *datagen.Dataset, topo *Topology, cfg ParallelConfig, g *comm.Group) (*ParallelTrainer, error) {
 	k := topo.K
+	if g.Size() != k {
+		return nil, fmt.Errorf("core: transport group has %d ranks, topology has %d", g.Size(), k)
+	}
 	t := &ParallelTrainer{
 		DS:      ds,
 		Topo:    topo,
 		Cfg:     cfg,
-		Cluster: comm.New(k, 0),
+		Cluster: g,
 	}
 	for i := 0; i < k; i++ {
-		t.Locals = append(t.Locals, NewLocalPartition(ds, topo, i))
-		model, err := NewModel(cfg.Model, ds.FeatureDim(), ds.NumClasses)
+		rt, err := NewRankTrainer(ds, topo, cfg, i)
 		if err != nil {
 			return nil, err
 		}
-		t.Models = append(t.Models, model)
-		t.opts = append(t.opts, optim.NewAdam(cfg.Model.LR))
-		t.rngs = append(t.rngs, tensor.NewRNG(cfg.SampleSeed+uint64(i)*0x9e3779b9))
-		t.globalTrainCount += t.Locals[i].TrainCount
+		t.Ranks = append(t.Ranks, rt)
+		t.Locals = append(t.Locals, rt.LP)
+		t.Models = append(t.Models, rt.Model)
 	}
-	t.flatGrads = make([][]float32, k)
-	for i := 0; i < k; i++ {
-		t.flatGrads[i] = make([]float32, 0, nn.ParamCount(t.Models[i].Layers()))
-	}
-	t.statsBuf = make([]workerStats, k)
+	t.statsBuf = make([]RankStats, k)
 	return t, nil
 }
 
-// workerStats collects one worker's per-epoch timing and byte counters.
-type workerStats struct {
-	loss                       float64
-	sample, compute, comm, red time.Duration
-	commBytes, reduceBytes     int64
-	sampledBd                  int
+// RankStats collects one rank's per-epoch timing and byte counters. Loss is
+// the rank's contribution to the global loss (the per-node losses of its
+// inner training nodes over the global normalizer), so summing across ranks
+// yields the global training loss.
+type RankStats struct {
+	Loss                          float64
+	Sample, Compute, Comm, Reduce time.Duration
+	CommBytes, ReduceBytes        int64
+	SampledBd                     int
 }
 
 // TrainEpoch runs one synchronized BNS-GCN epoch across all partitions and
@@ -304,48 +404,61 @@ func (t *ParallelTrainer) TrainEpoch() *EpochStats {
 	k := t.Topo.K
 	stats := t.statsBuf
 	t.Cluster.Run(func(w *comm.Worker) {
-		stats[w.Rank()] = t.runWorkerEpoch(w)
+		// A panic on one rank (protocol bug, NaN guard, model error) aborts
+		// the transport so the other ranks fail fast instead of blocking on
+		// messages that will never arrive; the panic still propagates
+		// through Run.
+		defer func() {
+			if r := recover(); r != nil {
+				w.Transport().Abort()
+				panic(r)
+			}
+		}()
+		stats[w.Rank()] = t.Ranks[w.Rank()].runEpoch(w)
 	})
 	t.epoch++
+	for _, rt := range t.Ranks {
+		rt.epoch++
+	}
 
 	agg := &EpochStats{SampledBd: make([]int, k)}
 	for i, s := range stats {
-		agg.Loss += s.loss
-		agg.CommBytes += s.commBytes
-		agg.ReduceBytes += s.reduceBytes
-		agg.SampledBd[i] = s.sampledBd
-		if s.sample > agg.SampleTime {
-			agg.SampleTime = s.sample
+		agg.Loss += s.Loss
+		agg.CommBytes += s.CommBytes
+		agg.ReduceBytes += s.ReduceBytes
+		agg.SampledBd[i] = s.SampledBd
+		if s.Sample > agg.SampleTime {
+			agg.SampleTime = s.Sample
 		}
-		if s.compute > agg.ComputeTime {
-			agg.ComputeTime = s.compute
+		if s.Compute > agg.ComputeTime {
+			agg.ComputeTime = s.Compute
 		}
-		if s.comm > agg.CommTime {
-			agg.CommTime = s.comm
+		if s.Comm > agg.CommTime {
+			agg.CommTime = s.Comm
 		}
-		if s.red > agg.ReduceTime {
-			agg.ReduceTime = s.red
+		if s.Reduce > agg.ReduceTime {
+			agg.ReduceTime = s.Reduce
 		}
 	}
 	return agg
 }
 
-// runWorkerEpoch is Algorithm 1's loop body from one partition's view.
-func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
-	var ws workerStats
-	rank := w.Rank()
-	lp := t.Locals[rank]
-	model := t.Models[rank]
-	rng := t.rngs[rank]
-	k := t.Topo.K
-	p := float32(t.Cfg.P)
+// runEpoch is Algorithm 1's loop body from one partition's view.
+func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
+	var ws RankStats
+	rank := rt.Rank
+	lp := rt.LP
+	model := rt.Model
+	rng := rt.rng
+	k := rt.Topo.K
+	p := float32(rt.Cfg.P)
 	// The paper's 1/p rescaling of received features (Section 3.2) makes the
 	// *mean aggregator's* neighbor sum unbiased. Attention models normalize
 	// per-neighborhood via softmax, so the rescale would only distort the
 	// attention logits — GAT runs unscaled, matching the official code.
 	invP := float32(1)
-	if t.Cfg.P > 0 && t.Cfg.Model.Arch == ArchSAGE {
-		invP = 1 / float32(t.Cfg.P)
+	if rt.Cfg.P > 0 && rt.Cfg.Model.Arch == ArchSAGE {
+		invP = 1 / float32(rt.Cfg.P)
 	}
 
 	// --- Sampling phase (lines 4–7) ---
@@ -358,15 +471,15 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 		if j == rank {
 			continue
 		}
-		full := t.Topo.Recv[rank][j]
+		full := rt.Topo.Recv[rank][j]
 		pos := myPos[j][:0]
 		switch {
-		case t.Cfg.P >= 1:
+		case rt.Cfg.P >= 1:
 			pos = pos[:len(full)]
 			for x := range pos {
 				pos[x] = int32(x)
 			}
-		case t.Cfg.P <= 0:
+		case rt.Cfg.P <= 0:
 			// nothing sampled
 		default:
 			for x := range full {
@@ -378,7 +491,7 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 		myPos[j] = pos
 		for _, x := range pos {
 			lp.active[lp.NIn+int(full[x])] = true
-			ws.sampledBd++
+			ws.SampledBd++
 		}
 	}
 	// Broadcast selections; build per-destination send row lists. The sent
@@ -403,7 +516,7 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 		if j == rank {
 			continue
 		}
-		full := t.Topo.Send[rank][j]
+		full := rt.Topo.Send[rank][j]
 		rows := sendRows[j][:len(theirPos[j])]
 		for x, posIdx := range theirPos[j] {
 			rows[x] = full[posIdx]
@@ -415,7 +528,7 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 		if j == rank {
 			continue
 		}
-		full := t.Topo.Recv[rank][j]
+		full := rt.Topo.Recv[rank][j]
 		slots := recvSlots[j][:len(myPos[j])]
 		for x, posIdx := range myPos[j] {
 			slots[x] = int32(lp.NIn) + full[posIdx]
@@ -431,7 +544,7 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 	// features, so sampling noise cannot blow up activations the way the
 	// unnormalized 1/p estimator does on low-degree nodes.
 	invDeg := lp.InvDeg // EstimatorHT: normalize by the full global degree
-	if t.Cfg.Estimator == EstimatorSelfNorm {
+	if rt.Cfg.Estimator == EstimatorSelfNorm {
 		invDeg = lp.epochInvDeg
 		for v := 0; v < lp.NIn; v++ {
 			row := eg.Neighbors(int32(v))
@@ -444,7 +557,7 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 			}
 		}
 	}
-	ws.sample = time.Since(start)
+	ws.Sample = time.Since(start)
 
 	// --- Forward (lines 8–11) ---
 	nLocal := lp.NIn + lp.NBd
@@ -469,7 +582,7 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 				copy(payload[x2*dim:(x2+1)*dim], hInner.Row(int(row)))
 			}
 			w.SendF32(j, tagForward+l, payload)
-			ws.commBytes += int64(4 * len(payload))
+			ws.CommBytes += int64(4 * len(payload))
 		}
 		for j := 0; j < k; j++ {
 			if j == rank || len(recvSlots[j]) == 0 {
@@ -488,27 +601,27 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 				}
 			}
 		}
-		ws.comm += time.Since(cs)
+		ws.Comm += time.Since(cs)
 
 		ps := time.Now()
 		xd := model.Dropouts[l].Forward(x, true)
 		hInner = layer.Forward(eg, xd, lp.NIn, invDeg)
-		ws.compute += time.Since(ps)
+		ws.Compute += time.Since(ps)
 	}
 
 	// --- Loss (line 12) ---
 	ls := time.Now()
 	d := lp.ws.Get(hInner.Rows, hInner.Cols)
-	ws.loss = LossInto(d, t.DS, hInner, lp.Labels, lp.LabelMatrix, lp.TrainMask, t.globalTrainCount)
+	ws.Loss = LossInto(d, rt.DS, hInner, lp.Labels, lp.LabelMatrix, lp.TrainMask, rt.globalTrainCount)
 	model.ZeroGrad()
-	ws.compute += time.Since(ls)
+	ws.Compute += time.Since(ls)
 
 	// --- Backward (line 13) ---
 	for l := len(model.LayersL) - 1; l >= 0; l-- {
 		bs := time.Now()
 		dx := model.LayersL[l].Backward(d)
 		dx = model.Dropouts[l].Backward(dx)
-		ws.compute += time.Since(bs)
+		ws.Compute += time.Since(bs)
 
 		dim := model.LayersL[l].InputDim()
 		if l == 0 {
@@ -529,7 +642,7 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 				}
 			}
 			w.SendF32(j, tagBackward+l, payload)
-			ws.commBytes += int64(4 * len(payload))
+			ws.CommBytes += int64(4 * len(payload))
 		}
 		// Next layer's output gradient: my inner rows plus remote halo grads.
 		dNext := lp.ws.Get(lp.NIn, dim)
@@ -543,19 +656,19 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 				tensor.AddTo(dNext.Row(int(row)), data[x2*dim:(x2+1)*dim])
 			}
 		}
-		ws.comm += time.Since(cs)
+		ws.Comm += time.Since(cs)
 		d = dNext
 	}
 
 	// --- Gradient AllReduce + update (lines 14–15) ---
 	rs := time.Now()
-	flat := nn.FlattenMats(model.Grads(), t.flatGrads[rank])
-	t.flatGrads[rank] = flat
+	flat := nn.FlattenMats(model.Grads(), rt.flatGrad)
+	rt.flatGrad = flat
 	w.AllReduceSum(flat, tagReduce)
 	nn.UnflattenMats(model.Grads(), flat)
-	ws.reduceBytes = int64(4 * len(flat))
-	t.opts[rank].Step(model.Params(), model.Grads())
-	ws.red = time.Since(rs)
+	ws.ReduceBytes = int64(4 * len(flat))
+	rt.opt.Step(model.Params(), model.Grads())
+	ws.Reduce = time.Since(rs)
 
 	// Everything drawn from the epoch workspace is dead now; recycle it.
 	lp.ws.Reset()
@@ -565,16 +678,7 @@ func (t *ParallelTrainer) runWorkerEpoch(w *comm.Worker) workerStats {
 // Evaluate scores the trained model on the given global mask with exact
 // full-graph inference (the paper reports full-graph test accuracy).
 func (t *ParallelTrainer) Evaluate(mask []bool) float64 {
-	if t.evalTrainer == nil {
-		model, err := NewModel(t.Cfg.Model, t.DS.FeatureDim(), t.DS.NumClasses)
-		if err != nil {
-			panic(err)
-		}
-		t.evalModel = model
-		t.evalTrainer = &FullTrainer{DS: t.DS, Model: model, invDeg: nn.InvDegrees(t.DS.G)}
-	}
-	t.evalModel.CopyWeightsFrom(t.Models[0])
-	return t.evalTrainer.Evaluate(mask)
+	return t.Ranks[0].Evaluate(mask)
 }
 
 // Epoch returns the number of completed training epochs.
