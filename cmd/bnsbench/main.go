@@ -28,6 +28,7 @@ func main() {
 		runs   = flag.Int("runs", 1, "repeated runs for mean±std columns")
 		quick  = flag.Bool("quick", false, "truncate to a few epochs (smoke mode)")
 		seed   = flag.Uint64("seed", 0, "master seed (0 = default)")
+		out    = flag.String("out", "", "also write machine-readable results (JSON) to this path, for experiments that support it")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bnsbench: -exp required (or -list); e.g. -exp table4 or -exp all")
 		os.Exit(2)
 	}
-	o := experiments.Options{Scale: *scale, Epochs: *epochs, Runs: *runs, Quick: *quick, Seed: *seed}
+	o := experiments.Options{Scale: *scale, Epochs: *epochs, Runs: *runs, Quick: *quick, Seed: *seed, OutPath: *out}
 
 	run := func(r experiments.Runner) {
 		fmt.Printf("=== %s: %s ===\n", r.ID, r.Title)

@@ -19,4 +19,12 @@
 // byte counts — by the cross-backend tests in internal/core. See
 // cmd/bnsgcn's -rank/-world/-rendezvous flags, examples/multiproc, and the
 // transport section of PERFORMANCE.md.
+//
+// The per-epoch protocol itself runs as a pipelined stage schedule
+// (internal/core/pipeline.go): halo sends and receives are posted
+// asynchronously, rows whose aggregation needs no boundary data compute
+// while the exchange is in flight, and the boundary-dependent rows complete
+// on arrival — selectable with -overlap and bit-identical to the serialized
+// schedule. EpochStats reports communication as raw span vs exposed
+// (unoverlapped) time; see PERFORMANCE.md "Overlapped halo exchange".
 package repro

@@ -140,6 +140,26 @@ func (t *ChanTransport) SendI32(dst, tag int, data []int32) {
 	t.send(dst, message{tag: tag, i32: data})
 }
 
+// ISendF32 initiates a nonblocking send. On the channel backend a send is
+// complete once the message is on the fabric — which SendF32 achieves
+// without copying — so the returned handle is already done. It blocks only
+// for queue backpressure, exactly like SendF32.
+func (t *ChanTransport) ISendF32(dst, tag int, data []float32) PendingSend {
+	t.SendF32(dst, tag, data)
+	return PendingSend{}
+}
+
+// IRecvF32 posts a nonblocking receive. The fabric is push-based (the sender
+// enqueues directly into the per-pair channel), so the message makes
+// progress regardless of when Wait runs.
+func (t *ChanTransport) IRecvF32(src, tag int) PendingRecvF32 {
+	return PendingRecvF32{t: t, src: src, tag: tag}
+}
+
+// RecycleF32 is a no-op: received slices belong to their sender (zero-copy
+// delivery), so there is nothing to pool.
+func (t *ChanTransport) RecycleF32([]float32) {}
+
 // recv dequeues the next message from src, preferring queued messages over
 // an abort so in-flight data is never lost.
 func (t *ChanTransport) recv(src int) message {

@@ -1,0 +1,113 @@
+package comm
+
+import (
+	"sync"
+	"time"
+)
+
+// WithLatency wraps every endpoint of a co-located group so that each
+// payload message becomes *consumable* only `delay` after it was sent,
+// modelling the propagation latency of a real link on top of whatever the
+// underlying backend costs. The receive path first performs the backend
+// receive, then parks until sendTime+delay — so time a rank spends computing
+// while a message is in flight counts against the link latency, exactly as
+// on real hardware. That makes the decorator the honest way to measure
+// communication/computation overlap on machines whose loopback latency is
+// negligible (or where co-scheduled ranks serialize on the CPU, hiding
+// nothing): the injected delay sleeps instead of burning cycles, so overlap
+// can genuinely reclaim it.
+//
+// Payload bytes, message counts, and delivered bits are untouched — training
+// over a latency-wrapped group is bit-identical to the bare group. Control
+// traffic (Barrier) is not delayed. The decorator needs a shared clock
+// ledger between sender and receiver, so it applies only to groups whose
+// endpoints live in one process (the channel cluster or a loopback TCP
+// mesh); it is a measurement and simulation tool, not a deployment feature.
+func WithLatency(g *Group, delay time.Duration) *Group {
+	s := &linkState{delay: delay, due: map[linkKey][]time.Time{}}
+	ts := make([]Transport, g.Size())
+	for i := range ts {
+		ts[i] = &latencyTransport{Transport: g.workers[i].t, s: s}
+	}
+	return NewGroup(ts)
+}
+
+// linkKey identifies one directed (src, dst, tag) message stream.
+type linkKey struct{ src, dst, tag int }
+
+// linkState is the shared send-timestamp ledger of one wrapped group.
+type linkState struct {
+	delay time.Duration
+	mu    sync.Mutex
+	due   map[linkKey][]time.Time
+}
+
+// stamp records a message's send time; streams are FIFO per key, matching
+// the transport ordering contract.
+func (s *linkState) stamp(src, dst, tag int) {
+	s.mu.Lock()
+	k := linkKey{src, dst, tag}
+	s.due[k] = append(s.due[k], time.Now())
+	s.mu.Unlock()
+}
+
+// arrive pops the oldest send time for the key and parks until it is
+// delay old. The pop happens after the backend receive completed, so the
+// stamp is guaranteed to be there (stamping happens before the backend
+// send, which happens before delivery).
+func (s *linkState) arrive(src, dst, tag int) {
+	s.mu.Lock()
+	k := linkKey{src, dst, tag}
+	q := s.due[k]
+	var ts time.Time
+	if len(q) > 0 {
+		ts = q[0]
+		s.due[k] = q[1:]
+	}
+	s.mu.Unlock()
+	if !ts.IsZero() {
+		if wait := time.Until(ts.Add(s.delay)); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+}
+
+// latencyTransport decorates one endpoint; everything not overridden
+// (Barrier, counters, Abort, Close, RecycleF32) passes through.
+type latencyTransport struct {
+	Transport
+	s *linkState
+}
+
+func (t *latencyTransport) SendF32(dst, tag int, data []float32) {
+	t.s.stamp(t.Rank(), dst, tag)
+	t.Transport.SendF32(dst, tag, data)
+}
+
+func (t *latencyTransport) SendI32(dst, tag int, data []int32) {
+	t.s.stamp(t.Rank(), dst, tag)
+	t.Transport.SendI32(dst, tag, data)
+}
+
+func (t *latencyTransport) ISendF32(dst, tag int, data []float32) PendingSend {
+	t.s.stamp(t.Rank(), dst, tag)
+	return t.Transport.ISendF32(dst, tag, data)
+}
+
+func (t *latencyTransport) RecvF32(src, tag int) []float32 {
+	out := t.Transport.RecvF32(src, tag)
+	t.s.arrive(src, t.Rank(), tag)
+	return out
+}
+
+func (t *latencyTransport) RecvI32(src, tag int) []int32 {
+	out := t.Transport.RecvI32(src, tag)
+	t.s.arrive(src, t.Rank(), tag)
+	return out
+}
+
+// IRecvF32 re-points the handle at the wrapper so Wait applies the link
+// delay.
+func (t *latencyTransport) IRecvF32(src, tag int) PendingRecvF32 {
+	return PendingRecvF32{t: t, src: src, tag: tag}
+}

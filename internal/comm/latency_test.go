@@ -1,0 +1,72 @@
+package comm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyGroupDelaysDelivery: a message received immediately after being
+// sent must not be consumable before the configured link delay has passed,
+// and time spent doing other work while it is in flight must count against
+// the delay.
+func TestLatencyGroupDelaysDelivery(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	g := WithLatency(New(2, 0), delay)
+	g.Run(func(w *Worker) {
+		switch w.Rank() {
+		case 0:
+			w.ISendF32(1, 1, []float32{1, 2, 3})
+			w.ISendF32(1, 1, []float32{4})
+		case 1:
+			h1 := w.IRecvF32(0, 1)
+			h2 := w.IRecvF32(0, 1)
+			start := time.Now()
+			got := h1.Wait()
+			if d := time.Since(start); d < delay/2 {
+				t.Errorf("first message consumable after %v, want ≈%v", d, delay)
+			}
+			if len(got) != 3 || got[0] != 1 {
+				t.Errorf("payload corrupted: %v", got)
+			}
+			// The second message was in flight the whole time the first
+			// wait slept, so it must now be (nearly) free to consume.
+			start = time.Now()
+			if got := h2.Wait(); len(got) != 1 || got[0] != 4 {
+				t.Errorf("payload corrupted: %v", got)
+			}
+			if d := time.Since(start); d > delay/2 {
+				t.Errorf("overlapped message still cost %v of exposed wait, want ≈0", d)
+			}
+		}
+	})
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLatencyGroupCollectivesUnchanged: the decorator must not change any
+// delivered bit — the ring AllReduce over a wrapped group produces the exact
+// sums of the bare group.
+func TestLatencyGroupCollectivesUnchanged(t *testing.T) {
+	const k, n = 3, 17
+	g := WithLatency(New(k, 0), time.Millisecond)
+	g.Run(func(w *Worker) {
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(w.Rank()*100 + i)
+		}
+		w.AllReduceSum(data, 40)
+		for i := range data {
+			want := float32(0)
+			for r := 0; r < k; r++ {
+				want += float32(r*100 + i)
+			}
+			if data[i] != want {
+				t.Errorf("rank %d: sum[%d] = %v, want %v", w.Rank(), i, data[i], want)
+			}
+		}
+	})
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,68 @@
+package comm
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Workspace-style free lists for the TCP transport's steady-state buffers
+// (see tensor.Workspace for the pattern): buckets by power-of-two capacity,
+// so the repeating frame sizes of a training epoch hit the free list every
+// time after one warm-up epoch. Three pools exist per transport:
+//
+//   - wireBufs ([]byte): serialized outgoing frames; filled by ISend/Send,
+//     returned by the per-peer writer goroutine after the socket write.
+//   - recvBufs ([]byte): incoming frame payloads; drawn by the demux
+//     goroutines in readLoop, returned by RecvF32/RecvI32/Barrier after the
+//     payload is decoded.
+//   - f32Bufs ([]float32): decoded receive payloads; returned by the
+//     consumer via RecycleF32 once the data has been used.
+//
+// Unlike tensor.Workspace these pools are mutex-guarded: the demux goroutine
+// of every peer and the rank goroutine share them. Buffers lost at teardown
+// (frames never consumed after a failure) are simply garbage collected.
+
+// poolGetClass returns the bucket whose buffers have capacity 1<<c ≥ n.
+func poolGetClass(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// poolPutClass returns the bucket a buffer of the given capacity may serve:
+// the largest c with 1<<c <= capacity. Returns -1 for capacity 0.
+func poolPutClass(capacity int) int {
+	return bits.Len(uint(capacity)) - 1
+}
+
+// bufPool is a bucketed free list of element buffers.
+type bufPool[E any] struct {
+	mu   sync.Mutex
+	free [33][][]E
+}
+
+// get returns a length-n buffer with undefined contents.
+func (p *bufPool[E]) get(n int) []E {
+	c := poolGetClass(n)
+	p.mu.Lock()
+	if bucket := p.free[c]; len(bucket) > 0 {
+		buf := bucket[len(bucket)-1]
+		p.free[c] = bucket[:len(bucket)-1]
+		p.mu.Unlock()
+		return buf[:n]
+	}
+	p.mu.Unlock()
+	return make([]E, n, 1<<c)
+}
+
+// put returns buf to the free lists; the caller must not use it afterwards.
+func (p *bufPool[E]) put(buf []E) {
+	c := poolPutClass(cap(buf))
+	if c < 0 {
+		return
+	}
+	p.mu.Lock()
+	p.free[c] = append(p.free[c], buf[:cap(buf)])
+	p.mu.Unlock()
+}

@@ -3,6 +3,7 @@ package comm
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"strings"
 	"sync"
@@ -62,14 +63,36 @@ type TCPConfig struct {
 	RendezvousListener net.Listener
 }
 
+// outMsg is one serialized frame queued for a peer's writer goroutine.
+type outMsg struct {
+	buf []byte // pooled wire bytes, returned to wireBufs after the write
+	seq uint64 // monotone per peer; writtenSeq reaches it after the write
+}
+
+// sendQueueCap bounds the frames queued toward one peer's writer goroutine;
+// a full queue blocks the sender (backpressure, never drops), matching the
+// bounded per-pair queues on the receive side.
+const sendQueueCap = 128
+
 // tcpPeer is one established connection to another rank.
 type tcpPeer struct {
 	rank int
 	conn *net.TCPConn
 	br   *bufio.Reader
 
-	wmu  sync.Mutex
-	wbuf []byte
+	// Outgoing frames flow through a writer goroutine so ISend takes the
+	// socket write off the caller's critical path: senders serialize into a
+	// pooled buffer (so their payload is free immediately), assign the next
+	// seq, and enqueue; the writer performs the conn.Write and advances
+	// writtenSeq under wmu. Blocking sends and PendingSend.Wait park on
+	// wcond until their seq is written or the transport fails. All frames —
+	// data and control — use the queue, so the per-pair FIFO order callers
+	// observe is exactly the enqueue order.
+	sendQ      chan outMsg
+	wmu        sync.Mutex
+	wcond      *sync.Cond
+	writtenSeq uint64
+	enqSeq     uint64 // touched only by the rank's goroutine
 
 	qmu    sync.Mutex
 	queues map[int]chan frame
@@ -99,11 +122,24 @@ type TCPTransport struct {
 	msgsSent  atomic.Int64
 	wireSent  atomic.Int64
 
-	closed  atomic.Bool
+	// Steady-state buffer pools (see pool.go): serialized outgoing frames,
+	// incoming frame payloads, and decoded float32 receive payloads.
+	wireBufs bufPool[byte]
+	recvBufs bufPool[byte]
+	f32Bufs  bufPool[float32]
+
+	closed atomic.Bool
+	// closeCh is closed by Close so demux goroutines blocked on a full
+	// per-(peer,tag) queue can exit: a closing endpoint will never drain
+	// those queues (Recv is no longer called), and without the signal a
+	// graceful Close of an endpoint with backpressured queues would
+	// deadlock in readers.Wait.
+	closeCh chan struct{}
 	failErr error // written once before failCh closes
 	failOn  sync.Once
 	failCh  chan struct{}
 	readers sync.WaitGroup
+	writers sync.WaitGroup
 }
 
 // DialTCP bootstraps the full mesh for one rank and returns its endpoint.
@@ -132,6 +168,7 @@ func DialTCP(cfg TCPConfig) (*TCPTransport, error) {
 		world:    cfg.World,
 		queueCap: cfg.QueueCap,
 		peers:    make([]*tcpPeer, cfg.World),
+		closeCh:  make(chan struct{}),
 		failCh:   make(chan struct{}),
 	}
 	if cfg.World == 1 || cfg.Rank != 0 {
@@ -167,6 +204,8 @@ func DialTCP(cfg TCPConfig) (*TCPTransport, error) {
 		if p != nil {
 			t.readers.Add(1)
 			go t.readLoop(p)
+			t.writers.Add(1)
+			go t.writeLoop(p)
 		}
 	}
 	return t, nil
@@ -339,6 +378,8 @@ func (t *TCPTransport) connectMesh(cfg TCPConfig, dataLn net.Listener, addrs []s
 		p.conn.SetNoDelay(true)
 		p.queues = make(map[int]chan frame)
 		p.gone = make(chan struct{})
+		p.sendQ = make(chan outMsg, sendQueueCap)
+		p.wcond = sync.NewCond(&p.wmu)
 		t.peers[p.rank] = p
 	}
 	return nil
@@ -362,8 +403,9 @@ func (t *TCPTransport) failure() *TransportError {
 	return &TransportError{Rank: t.rank, Err: t.failErr}
 }
 
-// fail records the first failure, wakes every blocked operation, and tears
-// down all connections so peers observe the failure too.
+// fail records the first failure, wakes every blocked operation — including
+// senders parked on a writer's completion cond — and tears down all
+// connections so peers observe the failure too.
 func (t *TCPTransport) fail(err error) {
 	t.failOn.Do(func() {
 		t.failErr = err
@@ -371,6 +413,11 @@ func (t *TCPTransport) fail(err error) {
 		for _, p := range t.peers {
 			if p != nil {
 				p.conn.Close()
+				if p.wcond != nil {
+					p.wmu.Lock()
+					p.wcond.Broadcast()
+					p.wmu.Unlock()
+				}
 			}
 		}
 	})
@@ -395,11 +442,33 @@ func (t *TCPTransport) Abort() {
 	t.fail(fmt.Errorf("transport aborted"))
 }
 
+// readFramePooled reads one frame, drawing the payload buffer from the
+// transport's receive pool; the consumer returns it after decoding.
+func (t *TCPTransport) readFramePooled(r io.Reader) (frame, error) {
+	var h [frameHeaderSize]byte
+	if _, err := io.ReadFull(r, h[:]); err != nil {
+		return frame{}, err
+	}
+	tag, dtype, nelems, err := parseFrameHeader(h[:])
+	if err != nil {
+		return frame{}, err
+	}
+	payload := t.recvBufs.get(4 * nelems)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		t.recvBufs.put(payload)
+		return frame{}, err
+	}
+	return frame{tag: tag, dtype: dtype, payload: payload}, nil
+}
+
 // readLoop demultiplexes one peer connection into per-tag queues.
 func (t *TCPTransport) readLoop(p *tcpPeer) {
 	defer t.readers.Done()
 	for {
-		fr, err := readFrame(p.br)
+		fr, err := t.readFramePooled(p.br)
 		if err != nil {
 			if t.closed.Load() {
 				return // local Close is tearing the connection down
@@ -408,6 +477,7 @@ func (t *TCPTransport) readLoop(p *tcpPeer) {
 			return
 		}
 		if fr.dtype == dtypeCtrl && fr.tag == tagBye {
+			t.recvBufs.put(fr.payload)
 			close(p.gone)
 			return
 		}
@@ -417,10 +487,13 @@ func (t *TCPTransport) readLoop(p *tcpPeer) {
 		default:
 			// Queue full: block — backpressuring the connection, the same
 			// never-drop semantics as the channel backend — but stay
-			// responsive to transport failure.
+			// responsive to transport failure and to a local Close (which
+			// abandons undrained queues; nothing will ever Recv them).
 			select {
 			case q <- fr:
 			case <-t.failCh:
+				return
+			case <-t.closeCh:
 				return
 			}
 		}
@@ -438,33 +511,91 @@ func (p *tcpPeer) queue(tag, capacity int) chan frame {
 	return q
 }
 
-// sendFrame serializes and writes one frame; payloadBytes < 0 marks control
-// traffic excluded from accounting.
-func (t *TCPTransport) sendFrame(dst int, payloadBytes int, encode func([]byte) ([]byte, error)) {
+// isend serializes one frame into a pooled buffer and enqueues it to the
+// peer's writer goroutine, returning a completion handle. The payload is
+// fully serialized before isend returns, so the caller's data slice is free
+// immediately; the socket write happens off the caller's critical path.
+// payloadBytes < 0 marks control traffic excluded from accounting.
+func (t *TCPTransport) isend(dst int, payloadBytes int, encode func([]byte) ([]byte, error)) PendingSend {
 	select {
 	case <-t.failCh:
 		panic(t.failure())
 	default:
 	}
 	p := t.peer(dst)
-	p.wmu.Lock()
-	buf, err := encode(p.wbuf[:0])
-	var wire int
-	if err == nil {
-		p.wbuf = buf
-		wire = len(buf)
-		_, err = p.conn.Write(buf)
+	hint := frameHeaderSize
+	if payloadBytes > 0 {
+		hint += payloadBytes
 	}
-	p.wmu.Unlock()
+	buf, err := encode(t.wireBufs.get(hint)[:0])
 	if err != nil {
 		t.fail(fmt.Errorf("send to peer %d: %w", dst, err))
 		panic(t.failure())
 	}
-	t.wireSent.Add(int64(wire))
+	p.enqSeq++
+	msg := outMsg{buf: buf, seq: p.enqSeq}
+	select {
+	case p.sendQ <- msg:
+	default:
+		select {
+		case p.sendQ <- msg: // backpressure: block, never drop
+		case <-t.failCh:
+			panic(t.failure())
+		}
+	}
 	if payloadBytes >= 0 {
 		t.bytesSent.Add(int64(payloadBytes))
 		t.msgsSent.Add(1)
 	}
+	return PendingSend{t: t, p: p, seq: msg.seq}
+}
+
+// writeLoop drains one peer's send queue onto the socket, advancing
+// writtenSeq and waking waiters after every successful write.
+func (t *TCPTransport) writeLoop(p *tcpPeer) {
+	defer t.writers.Done()
+	for {
+		var msg outMsg
+		var ok bool
+		select {
+		case msg, ok = <-p.sendQ:
+			if !ok {
+				return
+			}
+		case <-t.failCh:
+			return
+		}
+		_, err := p.conn.Write(msg.buf)
+		if err == nil {
+			t.wireSent.Add(int64(len(msg.buf)))
+		}
+		if err != nil {
+			// Close drains the queues (writers.Wait) before touching the
+			// connections, so a write error always means the peer side went
+			// away — record it, which also wakes every parked waiter.
+			t.fail(fmt.Errorf("send to peer %d: %w", p.rank, err))
+			return
+		}
+		t.wireBufs.put(msg.buf)
+		p.wmu.Lock()
+		p.writtenSeq = msg.seq
+		p.wcond.Broadcast()
+		p.wmu.Unlock()
+	}
+}
+
+// waitWritten blocks until the peer's writer has put seq on the socket,
+// panicking with the transport failure if it goes down first.
+func (t *TCPTransport) waitWritten(p *tcpPeer, seq uint64) {
+	p.wmu.Lock()
+	for p.writtenSeq < seq {
+		if t.Err() != nil {
+			p.wmu.Unlock()
+			panic(t.failure())
+		}
+		p.wcond.Wait()
+	}
+	p.wmu.Unlock()
 }
 
 func checkAppTag(tag int) {
@@ -473,23 +604,47 @@ func checkAppTag(tag int) {
 	}
 }
 
-// SendF32 sends a float32 payload to dst with a tag. Unlike the channel
-// backend the payload is serialized before Send returns, so the caller's
-// buffer is free immediately — but callers must still follow the stricter
-// channel-backend ownership rule to stay backend-portable.
+// SendF32 sends a float32 payload to dst with a tag, blocking until the
+// frame is on the socket. Unlike the channel backend the payload is
+// serialized before Send returns, so the caller's buffer is free immediately
+// — but callers must still follow the stricter channel-backend ownership
+// rule to stay backend-portable.
 func (t *TCPTransport) SendF32(dst, tag int, data []float32) {
+	t.ISendF32(dst, tag, data).Wait()
+}
+
+// ISendF32 initiates a nonblocking send: the payload is serialized into a
+// pooled buffer (freeing the caller's slice) and handed to the peer's writer
+// goroutine, which performs the socket write concurrently with whatever the
+// caller does next. The returned handle's Wait blocks until the write
+// completes; the epoch protocol never waits — message delivery is confirmed
+// by the protocol being fully matched.
+func (t *TCPTransport) ISendF32(dst, tag int, data []float32) PendingSend {
 	checkAppTag(tag)
-	t.sendFrame(dst, 4*len(data), func(b []byte) ([]byte, error) {
+	return t.isend(dst, 4*len(data), func(b []byte) ([]byte, error) {
 		return appendFrameF32(b, tag, data)
 	})
 }
 
-// SendI32 sends an int32 payload to dst with a tag.
+// IRecvF32 posts a nonblocking receive; the demux goroutine drains the
+// socket in the background, so the frame makes progress while the caller
+// computes and Wait only dequeues it.
+func (t *TCPTransport) IRecvF32(src, tag int) PendingRecvF32 {
+	return PendingRecvF32{t: t, src: src, tag: tag}
+}
+
+// RecycleF32 returns a payload obtained from RecvF32 to the decode pool.
+func (t *TCPTransport) RecycleF32(data []float32) {
+	t.f32Bufs.put(data)
+}
+
+// SendI32 sends an int32 payload to dst with a tag, blocking until the frame
+// is on the socket.
 func (t *TCPTransport) SendI32(dst, tag int, data []int32) {
 	checkAppTag(tag)
-	t.sendFrame(dst, 4*len(data), func(b []byte) ([]byte, error) {
+	t.isend(dst, 4*len(data), func(b []byte) ([]byte, error) {
 		return appendFrameI32(b, tag, data)
-	})
+	}).Wait()
 }
 
 // recv blocks until a frame with the given tag arrives from src, the peer
@@ -529,15 +684,24 @@ func (t *TCPTransport) recv(src, tag int, want byte) frame {
 }
 
 // RecvF32 receives the next float32 message from src with the given tag.
+// The returned slice comes from the transport's decode pool; hand it back
+// with RecycleF32 once consumed to keep steady-state epochs allocation-free.
 func (t *TCPTransport) RecvF32(src, tag int) []float32 {
 	checkAppTag(tag)
-	return payloadF32(t.recv(src, tag, dtypeF32).payload)
+	fr := t.recv(src, tag, dtypeF32)
+	out := t.f32Bufs.get(len(fr.payload) / 4)
+	decodeF32Into(out, fr.payload)
+	t.recvBufs.put(fr.payload)
+	return out
 }
 
 // RecvI32 receives the next int32 message from src with the given tag.
 func (t *TCPTransport) RecvI32(src, tag int) []int32 {
 	checkAppTag(tag)
-	return payloadI32(t.recv(src, tag, dtypeI32).payload)
+	fr := t.recv(src, tag, dtypeI32)
+	out := payloadI32(fr.payload)
+	t.recvBufs.put(fr.payload)
+	return out
 }
 
 // Barrier blocks until every rank has entered it. Implemented as gather-to-
@@ -549,21 +713,21 @@ func (t *TCPTransport) Barrier() {
 	}
 	if t.rank == 0 {
 		for r := 1; r < t.world; r++ {
-			t.recv(r, tagBarrierEnter, dtypeCtrl)
+			t.recvBufs.put(t.recv(r, tagBarrierEnter, dtypeCtrl).payload)
 		}
 		for r := 1; r < t.world; r++ {
 			t.sendCtrl(r, tagBarrierLeave)
 		}
 	} else {
 		t.sendCtrl(0, tagBarrierEnter)
-		t.recv(0, tagBarrierLeave, dtypeCtrl)
+		t.recvBufs.put(t.recv(0, tagBarrierLeave, dtypeCtrl).payload)
 	}
 }
 
 func (t *TCPTransport) sendCtrl(dst, tag int) {
-	t.sendFrame(dst, -1, func(b []byte) ([]byte, error) {
+	t.isend(dst, -1, func(b []byte) ([]byte, error) {
 		return appendFrameBytes(b, tag, dtypeCtrl, nil)
-	})
+	}).Wait()
 }
 
 // BytesSent returns the payload bytes this rank has sent since the last
@@ -589,12 +753,13 @@ func (t *TCPTransport) ResetCounters() {
 
 // Close shuts the endpoint down gracefully: a goodbye frame tells each peer
 // that no more data is coming (so their pending receives fail with a
-// "closed" error rather than a connection error), then connections are
-// closed and the demux goroutines reaped. Close after a failure returns the
-// recorded error.
+// "closed" error rather than a connection error), the writer goroutines are
+// drained and stopped, then connections are closed and the demux goroutines
+// reaped. Close after a failure returns the recorded error.
 func (t *TCPTransport) Close() error {
 	if t.closed.Swap(true) {
 		t.readers.Wait()
+		t.writers.Wait()
 		return t.Err()
 	}
 	if t.Err() == nil {
@@ -608,6 +773,16 @@ func (t *TCPTransport) Close() error {
 			}()
 		}
 	}
+	// The goodbyes were waited for, so the send queues are drained; closing
+	// them stops the writers before the connections go away. closeCh frees
+	// any demux goroutine parked on a full receive queue.
+	close(t.closeCh)
+	for _, p := range t.peers {
+		if p != nil {
+			close(p.sendQ)
+		}
+	}
+	t.writers.Wait()
 	for _, p := range t.peers {
 		if p != nil {
 			p.conn.Close()

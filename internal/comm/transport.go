@@ -40,6 +40,25 @@ type Transport interface {
 	SendI32(dst, tag int, data []int32)
 	RecvF32(src, tag int) []float32
 	RecvI32(src, tag int) []int32
+	// ISendF32 initiates a nonblocking tagged send and returns a completion
+	// handle. Ordering with blocking sends is preserved (one FIFO per pair).
+	// Payload ownership matches SendF32 per backend: the TCP backend
+	// serializes before returning, so the caller's slice is free immediately;
+	// the channel backend holds the slice until delivery.
+	ISendF32(dst, tag int, data []float32) PendingSend
+	// IRecvF32 posts a nonblocking receive for the next float32 message with
+	// the given tag from src. Both backends progress in the background — the
+	// channel fabric is push-based and the TCP demux goroutines drain the
+	// sockets — so the payload can arrive while the caller computes; Wait
+	// only dequeues it (or blocks until arrival). Wait exactly once.
+	IRecvF32(src, tag int) PendingRecvF32
+	// RecycleF32 hands a slice previously returned by RecvF32 (or a recv
+	// handle's Wait) back to the transport for reuse. Optional, and a no-op
+	// on the channel backend — whose received slices belong to the sender —
+	// but on the TCP backend it feeds the receive-payload pool that keeps
+	// steady-state epochs allocation-free. The caller must not touch data
+	// afterwards.
+	RecycleF32(data []float32)
 	Barrier()
 	BytesSent() int64
 	MessagesSent() int64
@@ -52,6 +71,44 @@ type Transport interface {
 	Abort()
 	Close() error
 }
+
+// PendingSend is the completion handle of a nonblocking ISendF32. The zero
+// value is an already-completed send (what the channel backend returns: its
+// sends complete once the message is on the fabric). For the TCP backend,
+// Wait blocks until the frame has been handed to the OS by the peer's writer
+// goroutine, panicking with a *TransportError if the transport fails first.
+// Waiting is optional — the epoch protocol never does; the payload is free
+// as soon as ISendF32 returns (TCP serializes eagerly, and the channel
+// backend's ownership rule already forbids mutating a sent slice).
+//
+// The handle is a concrete struct rather than an interface on purpose: the
+// engine creates one per halo message per epoch, and an interface value
+// would heap-allocate on the hot path. A future backend with its own async
+// completion story should generalize the fields (or swap in a small
+// completion closure) rather than bolt on a parallel handle type.
+type PendingSend struct {
+	t   *TCPTransport
+	p   *tcpPeer
+	seq uint64
+}
+
+// Wait blocks until the send has completed (see type doc).
+func (s PendingSend) Wait() {
+	if s.t != nil {
+		s.t.waitWritten(s.p, s.seq)
+	}
+}
+
+// PendingRecvF32 is the handle of a posted nonblocking receive; Wait returns
+// the payload, blocking until it arrives or the transport fails (panic with
+// a descriptive error, like RecvF32). Wait must be called exactly once.
+type PendingRecvF32 struct {
+	t        Transport
+	src, tag int
+}
+
+// Wait dequeues the posted receive's payload (see type doc).
+func (r PendingRecvF32) Wait() []float32 { return r.t.RecvF32(r.src, r.tag) }
 
 // ringScratch holds the per-rank send buffer for the ring AllReduce's first
 // reduce-scatter step (the only message whose payload cannot alias the
@@ -100,6 +157,18 @@ func (w *Worker) RecvF32(src, tag int) []float32 { return w.t.RecvF32(src, tag) 
 // RecvI32 receives the next int32 message from src with the expected tag.
 func (w *Worker) RecvI32(src, tag int) []int32 { return w.t.RecvI32(src, tag) }
 
+// ISendF32 initiates a nonblocking send; see Transport.ISendF32.
+func (w *Worker) ISendF32(dst, tag int, data []float32) PendingSend {
+	return w.t.ISendF32(dst, tag, data)
+}
+
+// IRecvF32 posts a nonblocking receive; see Transport.IRecvF32.
+func (w *Worker) IRecvF32(src, tag int) PendingRecvF32 { return w.t.IRecvF32(src, tag) }
+
+// RecycleF32 returns a received payload to the transport's buffer pool; see
+// Transport.RecycleF32.
+func (w *Worker) RecycleF32(data []float32) { w.t.RecycleF32(data) }
+
 // Barrier blocks until every rank has entered it.
 func (w *Worker) Barrier() { w.t.Barrier() }
 
@@ -146,7 +215,10 @@ func (w *Worker) AllReduceSum(data []float32, tag int) {
 
 	// Reduce-scatter: accumulate the incoming chunk into the received
 	// buffer (data stays untouched until the final values arrive) and pass
-	// it on.
+	// it on. Forwarded and fully consumed buffers are recycled into the
+	// transport's pool — safe on both backends, because the TCP backend
+	// serializes a payload before Send returns and the channel backend's
+	// RecycleF32 is a no-op (its slices belong to the sender).
 	var part []float32
 	for s := 0; s < m-1; s++ {
 		c := (rank - s - 1 + m) % m
@@ -160,6 +232,7 @@ func (w *Worker) AllReduceSum(data []float32, tag int) {
 		}
 		if s < m-2 {
 			w.SendF32(next, tag, part)
+			w.RecycleF32(part)
 		}
 	}
 
@@ -169,6 +242,7 @@ func (w *Worker) AllReduceSum(data []float32, tag int) {
 
 	// All-gather: circulate the finished chunks around the ring.
 	w.SendF32(next, tag+1, part)
+	w.RecycleF32(part)
 	for s := 0; s < m-1; s++ {
 		c := (rank - s + m) % m
 		got := w.RecvF32(prev, tag+1)
@@ -176,6 +250,7 @@ func (w *Worker) AllReduceSum(data []float32, tag int) {
 		if s < m-2 {
 			w.SendF32(next, tag+1, got)
 		}
+		w.RecycleF32(got)
 	}
 }
 

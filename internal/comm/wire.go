@@ -161,10 +161,17 @@ func readFrame(r io.Reader) (frame, error) {
 // payloadF32 decodes a frame payload into float32s (exact bit round-trip).
 func payloadF32(b []byte) []float32 {
 	out := make([]float32, len(b)/4)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
-	}
+	decodeF32Into(out, b)
 	return out
+}
+
+// decodeF32Into decodes a frame payload into a caller-owned slice of length
+// len(b)/4 (exact bit round-trip); the receive path pairs it with pooled
+// buffers so steady-state epochs allocate nothing.
+func decodeF32Into(dst []float32, b []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
 }
 
 // payloadI32 decodes a frame payload into int32s.

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestTCPTrainEpochSteadyStateAllocs pins the recv-buffer pooling on the TCP
+// path (ROADMAP open item): after warm-up, a k=2 loopback epoch must run off
+// the transport's pooled buffers — serialized outgoing frames, incoming
+// frame payloads, and decoded float32 payloads are all recycled — leaving
+// only the small fixed overhead of the per-epoch goroutine fan-out, the
+// position messages (one int32 slice per peer), and the kernel-pool
+// hand-off. Before pooling, every frame allocated its payload twice (socket
+// read + decode) and every send serialized into a growing buffer under a
+// lock, which scaled with message count and payload size.
+func TestTCPTrainEpochSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc budgets only hold without -race")
+	}
+	for _, overlap := range []bool{false, true} {
+		ds := testDataset(t, 55)
+		const k = 2
+		topo := testTopology(t, ds, k)
+		cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 3, Overlap: overlap}
+		tr, err := NewParallelTrainerOver(ds, topo, cfg, tcpLoopbackGroup(t, k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3; i++ {
+			tr.TrainEpoch() // warm up layer scratch, workspaces, and transport pools
+		}
+		// The fixed overhead mirrors the channel-backend budget in
+		// TestTrainEpochSteadyStateAllocs, plus a small per-message term for
+		// the position exchanges and scheduler churn of the four demux/writer
+		// goroutines. The important property is that the budget is
+		// independent of payload sizes and layer count × message volume.
+		budget := float64(80)
+		if procs := runtime.GOMAXPROCS(0); procs > 1 {
+			budget += 50 * float64(procs)
+		}
+		allocs := testing.AllocsPerRun(10, func() {
+			tr.TrainEpoch()
+		})
+		if allocs > budget {
+			t.Errorf("overlap=%v: steady-state TCP TrainEpoch allocates %.0f objects/epoch, budget %.0f",
+				overlap, allocs, budget)
+		}
+		t.Logf("overlap=%v: steady-state TCP allocs/epoch = %.0f", overlap, allocs)
+	}
+}

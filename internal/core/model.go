@@ -50,10 +50,46 @@ func (c *ModelConfig) Validate() error {
 // GraphLayer is the uniform layer interface the trainers drive: forward over
 // a local node space producing outputs for the first nOut rows, backward
 // returning input gradients for all rows.
+//
+// Besides the one-shot Forward/Backward (what the full-graph trainers use),
+// every layer exposes the chunked passes the pipelined epoch engine runs so
+// halo exchange can overlap with halo-independent compute:
+//
+//   - ForwardBegin → ForwardPrep/ForwardRows: rows whose aggregation reads no
+//     halo slot can run while boundary features are in flight; the remaining
+//     rows run on arrival. Any duplicate-free row partition is bit-identical
+//     to the one-shot Forward.
+//   - BackwardBegin → BackwardHalo → BackwardFinish: halo-row input gradients
+//     complete first (so they can be sent), then parameter gradients and the
+//     inner rows while the peer gradients are in flight. The staged schedule
+//     is bit-identical to the one-shot Backward.
 type GraphLayer interface {
 	nn.Layer
 	Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix
 	Backward(dOut *tensor.Matrix) *tensor.Matrix
+
+	// ForwardBegin prepares a chunked pass and returns the output matrix the
+	// ForwardRows calls will fill.
+	ForwardBegin(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix
+	// ForwardPrep runs per-node precomputations for feature rows [r0, r1)
+	// (a no-op for SAGE; Wh and attention scores for GAT).
+	ForwardPrep(r0, r1 int)
+	// ForwardRows computes the listed output rows; each row of [0, nOut)
+	// must be covered exactly once per pass.
+	ForwardRows(rows []int32)
+
+	// BackwardBegin computes the pre-activation gradients for dOut and
+	// resets the pass accumulators.
+	BackwardBegin(dOut *tensor.Matrix)
+	// BackwardHalo completes the halo rows of the input gradient: haloSrc
+	// lists (ascending) every output row with a neighbor ≥ nIn, haloSlots
+	// the halo rows whose gradients are needed. Rows < nIn of the returned
+	// matrix are valid only after BackwardFinish.
+	BackwardHalo(haloSrc, haloSlots []int32, nIn int) *tensor.Matrix
+	// BackwardFinish accumulates parameter gradients and completes rows
+	// [0, nIn); freeSrc lists (ascending) the output rows not in haloSrc.
+	BackwardFinish(freeSrc []int32, nIn int) *tensor.Matrix
+
 	InputDim() int
 	OutputDim() int
 }
@@ -69,6 +105,9 @@ type gatLayer struct{ *nn.GATConv }
 
 func (l gatLayer) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, _ []float32) *tensor.Matrix {
 	return l.GATConv.Forward(g, h, nOut)
+}
+func (l gatLayer) ForwardBegin(g *graph.Graph, h *tensor.Matrix, nOut int, _ []float32) *tensor.Matrix {
+	return l.GATConv.ForwardBegin(g, h, nOut)
 }
 func (l gatLayer) InputDim() int  { return l.GATConv.InDim }
 func (l gatLayer) OutputDim() int { return l.GATConv.OutDim }

@@ -32,11 +32,12 @@ import (
 // in-process channel-backend run of the same configuration.
 
 const (
-	mpEnvRank  = "BNSGCN_MP_RANK"
-	mpEnvWorld = "BNSGCN_MP_WORLD"
-	mpEnvAddr  = "BNSGCN_MP_ADDR"
-	mpWorld    = 4
-	mpEpochs   = 3
+	mpEnvRank    = "BNSGCN_MP_RANK"
+	mpEnvWorld   = "BNSGCN_MP_WORLD"
+	mpEnvAddr    = "BNSGCN_MP_ADDR"
+	mpEnvOverlap = "BNSGCN_MP_OVERLAP"
+	mpWorld      = 4
+	mpEpochs     = 3
 )
 
 func mpDataset(t testing.TB) (*datagen.Dataset, *Topology) {
@@ -61,8 +62,8 @@ func mpDataset(t testing.TB) (*datagen.Dataset, *Topology) {
 	return ds, topo
 }
 
-func mpConfig() ParallelConfig {
-	return ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 9}
+func mpConfig(overlap bool) ParallelConfig {
+	return ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 9, Overlap: overlap}
 }
 
 func mpParamHash(m *Model) string {
@@ -84,7 +85,7 @@ func TestMultiProcessHelper(t *testing.T) {
 	world, _ := strconv.Atoi(os.Getenv(mpEnvWorld))
 
 	ds, topo := mpDataset(t)
-	rt, err := NewRankTrainer(ds, topo, mpConfig(), rank)
+	rt, err := NewRankTrainer(ds, topo, mpConfig(os.Getenv(mpEnvOverlap) == "1"), rank)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,15 @@ func TestMultiProcessHelper(t *testing.T) {
 // TestMultiProcessLoopback is the smoke test CI runs race-enabled: 4 ranks
 // as separate OS processes over real sockets must reproduce the in-process
 // channel backend bit for bit.
-func TestMultiProcessLoopback(t *testing.T) {
+func TestMultiProcessLoopback(t *testing.T) { mpRun(t, false) }
+
+// TestMultiProcessLoopbackOverlap runs the same smoke test with the
+// pipelined epoch schedule on in every rank process — the overlapped halo
+// exchange over real sockets must still reproduce the in-process overlapped
+// run bit for bit.
+func TestMultiProcessLoopbackOverlap(t *testing.T) { mpRun(t, true) }
+
+func mpRun(t *testing.T, overlap bool) {
 	if os.Getenv(mpEnvRank) != "" {
 		t.Skip("already inside a helper process")
 	}
@@ -138,10 +147,15 @@ func TestMultiProcessLoopback(t *testing.T) {
 	outs := make([]*bytes.Buffer, mpWorld)
 	for r := 0; r < mpWorld; r++ {
 		cmd := exec.CommandContext(ctx, exe, "-test.run=TestMultiProcessHelper$", "-test.v")
+		ov := "0"
+		if overlap {
+			ov = "1"
+		}
 		cmd.Env = append(os.Environ(),
 			fmt.Sprintf("%s=%d", mpEnvRank, r),
 			fmt.Sprintf("%s=%d", mpEnvWorld, mpWorld),
 			fmt.Sprintf("%s=%s", mpEnvAddr, addr),
+			fmt.Sprintf("%s=%s", mpEnvOverlap, ov),
 		)
 		outs[r] = &bytes.Buffer{}
 		cmd.Stdout = outs[r]
@@ -192,7 +206,7 @@ func TestMultiProcessLoopback(t *testing.T) {
 
 	// Reference run: same configuration, in-process channel backend.
 	ds, topo := mpDataset(t)
-	ref, err := NewParallelTrainer(ds, topo, mpConfig())
+	ref, err := NewParallelTrainer(ds, topo, mpConfig(overlap))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// TestOverlapBitIdentical is the pipelined engine's equivalence proof: the
+// same seeded dataset trained with the overlapped schedule must produce,
+// epoch for epoch, bit-identical losses, bit-identical weights on every
+// rank, and identical per-rank payload byte/message counts as the serialized
+// schedule — over both transports, for k ∈ {2, 4}, for both architectures,
+// with dropout on (the mask RNG stream order is part of the contract) and
+// p < 1 (so sampling, the row split, and the halo exchange all vary by
+// epoch).
+func TestOverlapBitIdentical(t *testing.T) {
+	for _, arch := range []Arch{ArchSAGE, ArchGAT} {
+		for _, k := range []int{2, 4} {
+			ds := testDataset(t, uint64(70+k))
+			topo := testTopology(t, ds, k)
+			mc := ModelConfig{Arch: arch, Layers: 2, Hidden: 16, Dropout: 0.3, LR: 0.01, Seed: 42}
+			base := ParallelConfig{Model: mc, P: 0.5, SampleSeed: 17}
+			over := base
+			over.Overlap = true
+
+			type run struct {
+				name string
+				tr   *ParallelTrainer
+			}
+			mk := func(name string, cfg ParallelConfig, g *comm.Group) run {
+				t.Helper()
+				var tr *ParallelTrainer
+				var err error
+				if g == nil {
+					tr, err = NewParallelTrainer(ds, topo, cfg)
+				} else {
+					tr, err = NewParallelTrainerOver(ds, topo, cfg, g)
+				}
+				if err != nil {
+					t.Fatal(err)
+				}
+				return run{name: name, tr: tr}
+			}
+			runs := []run{
+				mk("chan/serialized", base, nil),
+				mk("chan/overlap", over, nil),
+				mk("tcp/serialized", base, tcpLoopbackGroup(t, k)),
+				mk("tcp/overlap", over, tcpLoopbackGroup(t, k)),
+			}
+
+			const epochs = 4
+			for e := 0; e < epochs; e++ {
+				ref := runs[0].tr.TrainEpoch()
+				for _, r := range runs[1:] {
+					st := r.tr.TrainEpoch()
+					if st.Loss != ref.Loss {
+						t.Fatalf("%s arch=%s k=%d epoch %d: loss %.17g != serialized %.17g",
+							r.name, arch, k, e, st.Loss, ref.Loss)
+					}
+					if st.CommBytes != ref.CommBytes || st.ReduceBytes != ref.ReduceBytes {
+						t.Fatalf("%s arch=%s k=%d epoch %d: traffic (%d,%d) != serialized (%d,%d)",
+							r.name, arch, k, e, st.CommBytes, st.ReduceBytes, ref.CommBytes, ref.ReduceBytes)
+					}
+				}
+			}
+			for r := 0; r < k; r++ {
+				for _, rr := range runs[1:] {
+					if d := MaxParamDiff(runs[0].tr.Models[r], rr.tr.Models[r]); d != 0 {
+						t.Fatalf("%s arch=%s k=%d rank %d: weights diverged by %v", rr.name, arch, k, r, d)
+					}
+					if cb, ob := runs[0].tr.Cluster.BytesSent(r), rr.tr.Cluster.BytesSent(r); cb != ob {
+						t.Fatalf("%s arch=%s k=%d rank %d: payload bytes %d != serialized %d", rr.name, arch, k, r, ob, cb)
+					}
+					if cm, om := runs[0].tr.Cluster.MessagesSent(r), rr.tr.Cluster.MessagesSent(r); cm != om {
+						t.Fatalf("%s arch=%s k=%d rank %d: messages %d != serialized %d", rr.name, arch, k, r, om, cm)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestOverlapWorstCaseAllBoundaryDependent pins the degenerate schedule: at
+// p=1 on a topology where every inner node of every partition has a remote
+// neighbor, the halo-free chunk can be empty (zero overlap available) and
+// the pipelined schedule must still be exactly equivalent.
+func TestOverlapWorstCaseAllBoundaryDependent(t *testing.T) {
+	ds := testDataset(t, 31)
+	const k = 2
+	topo := testTopology(t, ds, k)
+	mc := ModelConfig{Arch: ArchSAGE, Layers: 2, Hidden: 16, Dropout: 0.5, LR: 0.01, Seed: 3}
+	base := ParallelConfig{Model: mc, P: 1, SampleSeed: 13}
+	over := base
+	over.Overlap = true
+
+	a, err := NewParallelTrainer(ds, topo, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewParallelTrainer(ds, topo, over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < 3; e++ {
+		sa, sb := a.TrainEpoch(), b.TrainEpoch()
+		if sa.Loss != sb.Loss {
+			t.Fatalf("epoch %d: loss diverged %.17g vs %.17g", e, sa.Loss, sb.Loss)
+		}
+	}
+	for r := 0; r < k; r++ {
+		if d := MaxParamDiff(a.Models[r], b.Models[r]); d != 0 {
+			t.Fatalf("rank %d diverged by %v", r, d)
+		}
+	}
+}
+
+// TestSplitRowsPartition checks the per-epoch row split invariants the
+// engine relies on: haloFree ∪ haloDep = [0, NIn) ascending and disjoint,
+// and haloSlots exactly the sampled boundary slots.
+func TestSplitRowsPartition(t *testing.T) {
+	ds := testDataset(t, 8)
+	topo := testTopology(t, ds, 3)
+	tr, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: testModelConfig(), P: 0.3, SampleSeed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.TrainEpoch()
+	for r, lp := range tr.Locals {
+		seen := make([]int, lp.NIn)
+		last := int32(-1)
+		for _, v := range lp.haloFree {
+			seen[v]++
+		}
+		for _, v := range lp.haloDep {
+			seen[v]++
+			if v <= last {
+				t.Fatalf("rank %d: haloDep not ascending", r)
+			}
+			last = v
+		}
+		for v, c := range seen {
+			if c != 1 {
+				t.Fatalf("rank %d: inner row %d covered %d times", r, v, c)
+			}
+		}
+		nSlots := 0
+		for s := lp.NIn; s < lp.NIn+lp.NBd; s++ {
+			if lp.active[s] {
+				nSlots++
+			}
+		}
+		if len(lp.haloSlots) != nSlots {
+			t.Fatalf("rank %d: %d halo slots listed, %d active", r, len(lp.haloSlots), nSlots)
+		}
+	}
+}

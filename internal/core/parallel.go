@@ -59,13 +59,24 @@ type LocalPartition struct {
 	epochIndptr  []int64
 	epochIndices []int32
 	active       []bool
-	eg           graph.Graph      // epoch subgraph header, rebuilt in place
+	eg           graph.Graph // epoch subgraph header, rebuilt in place
 	ws           *tensor.Workspace
 	myPos        [][]int32 // per peer: positions I sampled (cap: full recv list)
 	theirPos     [][]int32 // per peer: received position slices (epoch-lived)
 	sendRows     [][]int32 // per peer: inner rows to send (cap: full send list)
 	recvSlots    [][]int32 // per peer: halo slots I fill (cap: full recv list)
 	epochInvDeg  []float32 // effective-degree normalizer (EstimatorSelfNorm)
+
+	// Per-epoch row partition for the pipelined engine (see pipeline.go):
+	// haloFree lists the inner rows whose epoch-graph neighbors are all
+	// inner (computable before boundary features arrive), haloDep the rows
+	// with at least one sampled halo neighbor, haloSlots the active halo
+	// slots — all ascending, recomputed alongside sampling.
+	haloFree  []int32
+	haloDep   []int32
+	haloSlots []int32
+	pendRecv  []comm.PendingRecvF32 // per peer: posted halo receives
+	recvData  [][]float32           // per peer: drained payloads (serialized mode)
 }
 
 // NewLocalPartition extracts partition i's local view from the dataset and
@@ -163,7 +174,44 @@ func NewLocalPartition(ds *datagen.Dataset, t *Topology, i int) *LocalPartition 
 		lp.sendRows[j] = make([]int32, 0, len(t.Send[i][j]))
 	}
 	lp.epochInvDeg = make([]float32, lp.NIn)
+	lp.haloFree = make([]int32, 0, lp.NIn)
+	lp.haloDep = make([]int32, 0, lp.NIn)
+	lp.haloSlots = make([]int32, 0, lp.NBd)
+	lp.pendRecv = make([]comm.PendingRecvF32, k)
+	lp.recvData = make([][]float32, k)
 	return lp
+}
+
+// splitRows partitions the inner rows of the epoch subgraph into the
+// halo-free set (no sampled boundary neighbor — their aggregation can run
+// while halo features are in flight) and the halo-dependent remainder, and
+// collects the active halo slots. All three lists are ascending, which the
+// staged backward relies on for bit-identical accumulation order.
+func (lp *LocalPartition) splitRows(eg *graph.Graph) {
+	free, dep := lp.haloFree[:0], lp.haloDep[:0]
+	nIn := int32(lp.NIn)
+	for v := int32(0); v < nIn; v++ {
+		needsHalo := false
+		for _, u := range eg.Neighbors(v) {
+			if u >= nIn {
+				needsHalo = true
+				break
+			}
+		}
+		if needsHalo {
+			dep = append(dep, v)
+		} else {
+			free = append(free, v)
+		}
+	}
+	lp.haloFree, lp.haloDep = free, dep
+	slots := lp.haloSlots[:0]
+	for s := lp.NIn; s < lp.NIn+lp.NBd; s++ {
+		if lp.active[s] {
+			slots = append(slots, int32(s))
+		}
+	}
+	lp.haloSlots = slots
 }
 
 // epochGraph rebuilds the node-induced local subgraph on inner ∪ sampled
@@ -214,6 +262,14 @@ type ParallelConfig struct {
 	SampleSeed uint64
 	// Estimator selects the sampled-aggregation normalizer (SAGE only).
 	Estimator Estimator
+	// Overlap selects the pipelined epoch schedule: halo sends/receives are
+	// posted first, rows whose aggregation needs no halo slot compute while
+	// boundary data is in flight, and the halo-dependent rows complete on
+	// arrival — for both forward and backward. The schedule is bit-identical
+	// to the serialized one (same weights, losses, and payload bytes over
+	// every backend; the overlap equivalence tests pin this): only the
+	// position of the waits moves, never the arithmetic.
+	Overlap bool
 }
 
 // EpochStats reports one epoch of parallel training. Durations are the
@@ -223,16 +279,31 @@ type EpochStats struct {
 	Loss        float64
 	SampleTime  time.Duration
 	ComputeTime time.Duration
-	CommTime    time.Duration
-	ReduceTime  time.Duration
-	CommBytes   int64 // boundary feature + gradient traffic
-	ReduceBytes int64 // weight gradient AllReduce traffic
-	SampledBd   []int // per partition: boundary nodes kept this epoch
+	// CommTime is the raw halo-exchange span: payload gather/serialize plus
+	// the full post-to-consumed window of every exchange. Under the
+	// pipelined schedule (ParallelConfig.Overlap) that window runs
+	// concurrently with ComputeTime, so the two overlap and must not be
+	// summed — use ExposedCommTime for critical-path accounting.
+	CommTime time.Duration
+	// ExposedCommTime is the unoverlapped portion of comm: gather/serialize
+	// work plus the time actually spent blocked waiting for boundary data
+	// after overlappable compute has run. Serialized schedule: equals
+	// CommTime (nothing is hidden). Pipelined schedule: the paper's
+	// boundary-communication cost appears here only to the extent it could
+	// not be hidden behind inner-node compute.
+	ExposedCommTime time.Duration
+	ReduceTime      time.Duration
+	CommBytes       int64 // boundary feature + gradient traffic
+	ReduceBytes     int64 // weight gradient AllReduce traffic
+	SampledBd       []int // per partition: boundary nodes kept this epoch
 }
 
-// TotalTime returns the epoch wall-clock estimate (sum of phases).
+// TotalTime returns the epoch wall-clock estimate: the sum of the phases on
+// the critical path. Only the exposed (unoverlapped) communication time
+// counts — raw CommTime runs concurrently with ComputeTime when overlap is
+// on and would be double-counted.
 func (s *EpochStats) TotalTime() time.Duration {
-	return s.SampleTime + s.ComputeTime + s.CommTime + s.ReduceTime
+	return s.SampleTime + s.ComputeTime + s.ExposedCommTime + s.ReduceTime
 }
 
 // RankTrainer owns everything one rank needs to participate in BNS-GCN
@@ -390,10 +461,12 @@ func NewParallelTrainerOver(ds *datagen.Dataset, topo *Topology, cfg ParallelCon
 // RankStats collects one rank's per-epoch timing and byte counters. Loss is
 // the rank's contribution to the global loss (the per-node losses of its
 // inner training nodes over the global normalizer), so summing across ranks
-// yields the global training loss.
+// yields the global training loss. Comm is the raw exchange span,
+// CommExposed its unoverlapped portion (see EpochStats).
 type RankStats struct {
 	Loss                          float64
 	Sample, Compute, Comm, Reduce time.Duration
+	CommExposed                   time.Duration
 	CommBytes, ReduceBytes        int64
 	SampledBd                     int
 }
@@ -436,243 +509,14 @@ func (t *ParallelTrainer) TrainEpoch() *EpochStats {
 		if s.Comm > agg.CommTime {
 			agg.CommTime = s.Comm
 		}
+		if s.CommExposed > agg.ExposedCommTime {
+			agg.ExposedCommTime = s.CommExposed
+		}
 		if s.Reduce > agg.ReduceTime {
 			agg.ReduceTime = s.Reduce
 		}
 	}
 	return agg
-}
-
-// runEpoch is Algorithm 1's loop body from one partition's view.
-func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
-	var ws RankStats
-	rank := rt.Rank
-	lp := rt.LP
-	model := rt.Model
-	rng := rt.rng
-	k := rt.Topo.K
-	p := float32(rt.Cfg.P)
-	// The paper's 1/p rescaling of received features (Section 3.2) makes the
-	// *mean aggregator's* neighbor sum unbiased. Attention models normalize
-	// per-neighborhood via softmax, so the rescale would only distort the
-	// attention logits — GAT runs unscaled, matching the official code.
-	invP := float32(1)
-	if rt.Cfg.P > 0 && rt.Cfg.Model.Arch == ArchSAGE {
-		invP = 1 / float32(rt.Cfg.P)
-	}
-
-	// --- Sampling phase (lines 4–7) ---
-	start := time.Now()
-	for i := range lp.active {
-		lp.active[i] = i < lp.NIn
-	}
-	myPos := lp.myPos // positions I sampled, per owner partition
-	for j := 0; j < k; j++ {
-		if j == rank {
-			continue
-		}
-		full := rt.Topo.Recv[rank][j]
-		pos := myPos[j][:0]
-		switch {
-		case rt.Cfg.P >= 1:
-			pos = pos[:len(full)]
-			for x := range pos {
-				pos[x] = int32(x)
-			}
-		case rt.Cfg.P <= 0:
-			// nothing sampled
-		default:
-			for x := range full {
-				if rng.Float32() < p {
-					pos = append(pos, int32(x))
-				}
-			}
-		}
-		myPos[j] = pos
-		for _, x := range pos {
-			lp.active[lp.NIn+int(full[x])] = true
-			ws.SampledBd++
-		}
-	}
-	// Broadcast selections; build per-destination send row lists. The sent
-	// position slices alias lp.myPos scratch: the receiver holds them for
-	// the rest of the epoch, and the next epoch's rewrite is safe because
-	// TrainEpoch joins all workers in between.
-	theirPos := lp.theirPos
-	if k > 1 {
-		for j := 0; j < k; j++ {
-			if j != rank {
-				w.SendI32(j, tagPositions, myPos[j])
-			}
-		}
-		for j := 0; j < k; j++ {
-			if j != rank {
-				theirPos[j] = w.RecvI32(j, tagPositions)
-			}
-		}
-	}
-	sendRows := lp.sendRows // inner local ids to send to j, per layer
-	for j := 0; j < k; j++ {
-		if j == rank {
-			continue
-		}
-		full := rt.Topo.Send[rank][j]
-		rows := sendRows[j][:len(theirPos[j])]
-		for x, posIdx := range theirPos[j] {
-			rows[x] = full[posIdx]
-		}
-		sendRows[j] = rows
-	}
-	recvSlots := lp.recvSlots // halo local ids I fill from j
-	for j := 0; j < k; j++ {
-		if j == rank {
-			continue
-		}
-		full := rt.Topo.Recv[rank][j]
-		slots := recvSlots[j][:len(myPos[j])]
-		for x, posIdx := range myPos[j] {
-			slots[x] = int32(lp.NIn) + full[posIdx]
-		}
-		recvSlots[j] = slots
-	}
-	eg := lp.epochGraph()
-	// Self-normalized mean estimator: sampled remote neighbors carry weight
-	// 1/p in the numerator (the received features arrive pre-scaled), and
-	// the normalizer is the matching effective degree
-	// |local| + (1/p)·|sampled remote|. At p=1 this is exactly the full
-	// degree; for p<1 the estimate is a convex combination of neighbor
-	// features, so sampling noise cannot blow up activations the way the
-	// unnormalized 1/p estimator does on low-degree nodes.
-	invDeg := lp.InvDeg // EstimatorHT: normalize by the full global degree
-	if rt.Cfg.Estimator == EstimatorSelfNorm {
-		invDeg = lp.epochInvDeg
-		for v := 0; v < lp.NIn; v++ {
-			row := eg.Neighbors(int32(v))
-			remote := float32(len(row) - int(lp.localNbrs[v]))
-			eff := float32(lp.localNbrs[v]) + invP*remote
-			if eff > 0 {
-				invDeg[v] = 1 / eff
-			} else {
-				invDeg[v] = 0 // scratch is reused; clear stale entries
-			}
-		}
-	}
-	ws.Sample = time.Since(start)
-
-	// --- Forward (lines 8–11) ---
-	nLocal := lp.NIn + lp.NBd
-	hInner := lp.Features // inner activations entering the current layer
-	for l, layer := range model.LayersL {
-		dim := layer.InputDim()
-		// x comes from the epoch workspace with undefined contents: inner
-		// rows are overwritten below, sampled halo slots by the receive
-		// loop, and unsampled halo slots are never read because epochGraph
-		// dropped every edge into them.
-		x := lp.ws.Get(nLocal, dim)
-		copy(x.Data[:lp.NIn*dim], hInner.Data[:lp.NIn*dim])
-		// Halo exchange for this layer. Payload buffers alias the epoch
-		// workspace; receivers consume them within this epoch.
-		cs := time.Now()
-		for j := 0; j < k; j++ {
-			if j == rank || len(sendRows[j]) == 0 {
-				continue
-			}
-			payload := lp.ws.GetF32(len(sendRows[j]) * dim)
-			for x2, row := range sendRows[j] {
-				copy(payload[x2*dim:(x2+1)*dim], hInner.Row(int(row)))
-			}
-			w.SendF32(j, tagForward+l, payload)
-			ws.CommBytes += int64(4 * len(payload))
-		}
-		for j := 0; j < k; j++ {
-			if j == rank || len(recvSlots[j]) == 0 {
-				continue
-			}
-			data := w.RecvF32(j, tagForward+l)
-			if len(data) != len(recvSlots[j])*dim {
-				panic(fmt.Sprintf("core: rank %d layer %d: got %d floats from %d, want %d",
-					rank, l, len(data), j, len(recvSlots[j])*dim))
-			}
-			for x2, slot := range recvSlots[j] {
-				dst := x.Row(int(slot))
-				src := data[x2*dim : (x2+1)*dim]
-				for c, v := range src {
-					dst[c] = v * invP // unbiased 1/p rescaling (Section 3.2)
-				}
-			}
-		}
-		ws.Comm += time.Since(cs)
-
-		ps := time.Now()
-		xd := model.Dropouts[l].Forward(x, true)
-		hInner = layer.Forward(eg, xd, lp.NIn, invDeg)
-		ws.Compute += time.Since(ps)
-	}
-
-	// --- Loss (line 12) ---
-	ls := time.Now()
-	d := lp.ws.Get(hInner.Rows, hInner.Cols)
-	ws.Loss = LossInto(d, rt.DS, hInner, lp.Labels, lp.LabelMatrix, lp.TrainMask, rt.globalTrainCount)
-	model.ZeroGrad()
-	ws.Compute += time.Since(ls)
-
-	// --- Backward (line 13) ---
-	for l := len(model.LayersL) - 1; l >= 0; l-- {
-		bs := time.Now()
-		dx := model.LayersL[l].Backward(d)
-		dx = model.Dropouts[l].Backward(dx)
-		ws.Compute += time.Since(bs)
-
-		dim := model.LayersL[l].InputDim()
-		if l == 0 {
-			// Input features need no gradient; skip the halo exchange.
-			break
-		}
-		cs := time.Now()
-		for j := 0; j < k; j++ {
-			if j == rank || len(recvSlots[j]) == 0 {
-				continue
-			}
-			payload := lp.ws.GetF32(len(recvSlots[j]) * dim)
-			for x2, slot := range recvSlots[j] {
-				src := dx.Row(int(slot))
-				dst := payload[x2*dim : (x2+1)*dim]
-				for c, v := range src {
-					dst[c] = v * invP // chain rule through the 1/p scaling
-				}
-			}
-			w.SendF32(j, tagBackward+l, payload)
-			ws.CommBytes += int64(4 * len(payload))
-		}
-		// Next layer's output gradient: my inner rows plus remote halo grads.
-		dNext := lp.ws.Get(lp.NIn, dim)
-		copy(dNext.Data, dx.Data[:lp.NIn*dim])
-		for j := 0; j < k; j++ {
-			if j == rank || len(sendRows[j]) == 0 {
-				continue
-			}
-			data := w.RecvF32(j, tagBackward+l)
-			for x2, row := range sendRows[j] {
-				tensor.AddTo(dNext.Row(int(row)), data[x2*dim:(x2+1)*dim])
-			}
-		}
-		ws.Comm += time.Since(cs)
-		d = dNext
-	}
-
-	// --- Gradient AllReduce + update (lines 14–15) ---
-	rs := time.Now()
-	flat := nn.FlattenMats(model.Grads(), rt.flatGrad)
-	rt.flatGrad = flat
-	w.AllReduceSum(flat, tagReduce)
-	nn.UnflattenMats(model.Grads(), flat)
-	ws.ReduceBytes = int64(4 * len(flat))
-	rt.opt.Step(model.Params(), model.Grads())
-	ws.Reduce = time.Since(rs)
-
-	// Everything drawn from the epoch workspace is dead now; recycle it.
-	lp.ws.Reset()
-	return ws
 }
 
 // Evaluate scores the trained model on the given global mask with exact

@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// This file is the pipelined epoch engine: Algorithm 1's loop body from one
+// partition's view, executed as a per-layer stage schedule instead of the
+// old strictly serialized sample → exchange → compute phases.
+//
+// Every layer pass runs in two compute chunks over a per-epoch row partition
+// (LocalPartition.splitRows): the halo-free rows, whose aggregation reads no
+// sampled boundary slot, and the halo-dependent remainder. Halo sends and
+// receives are posted asynchronously (comm.Worker.ISendF32/IRecvF32) before
+// any chunk runs. The two schedules differ only in where the waits sit:
+//
+//	serialized (Overlap=false):  post → wait+consume → chunk1 → chunk2
+//	pipelined  (Overlap=true):   post → chunk1 → wait+consume → chunk2
+//
+// Both schedules issue the identical call sequence with identical arguments
+// — the same messages, the same chunked layer passes, the same dropout RNG
+// consumption order (inner rows before halo rows) — so they are bit-identical
+// by construction: weights, losses, and per-rank payload bytes match exactly
+// on every backend. The chunked passes themselves are bit-identical to the
+// one-shot layer passes (see nn's chunked-pass property tests), so the
+// engine also reproduces the historical serialized implementation bit for
+// bit.
+//
+// Backward is staged the same way per layer: BackwardBegin + BackwardHalo
+// complete the halo rows of the input gradient first, their 1/p-scaled
+// payloads are posted, and the parameter gradients plus inner rows
+// (BackwardFinish) overlap the exchange before the peer gradients are folded
+// into the next layer's output gradient.
+//
+// Timing is split into two comm counters (see EpochStats): CommExposed is
+// the critical-path portion (payload gather/serialize plus actual blocked
+// waits and halo fills), Comm the raw span from post to last consumption —
+// which under overlap runs concurrently with Compute and measures what the
+// exchange would cost if nothing hid it.
+
+// runEpoch executes one BNS-GCN epoch for this rank over the worker's
+// transport.
+func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
+	var ws RankStats
+	rank := rt.Rank
+	lp := rt.LP
+	model := rt.Model
+	rng := rt.rng
+	k := rt.Topo.K
+	p := float32(rt.Cfg.P)
+	overlap := rt.Cfg.Overlap
+	// The paper's 1/p rescaling of received features (Section 3.2) makes the
+	// *mean aggregator's* neighbor sum unbiased. Attention models normalize
+	// per-neighborhood via softmax, so the rescale would only distort the
+	// attention logits — GAT runs unscaled, matching the official code.
+	invP := float32(1)
+	if rt.Cfg.P > 0 && rt.Cfg.Model.Arch == ArchSAGE {
+		invP = 1 / float32(rt.Cfg.P)
+	}
+
+	// --- Sampling phase (lines 4–7) ---
+	start := time.Now()
+	for i := range lp.active {
+		lp.active[i] = i < lp.NIn
+	}
+	myPos := lp.myPos // positions I sampled, per owner partition
+	for j := 0; j < k; j++ {
+		if j == rank {
+			continue
+		}
+		full := rt.Topo.Recv[rank][j]
+		pos := myPos[j][:0]
+		switch {
+		case rt.Cfg.P >= 1:
+			pos = pos[:len(full)]
+			for x := range pos {
+				pos[x] = int32(x)
+			}
+		case rt.Cfg.P <= 0:
+			// nothing sampled
+		default:
+			for x := range full {
+				if rng.Float32() < p {
+					pos = append(pos, int32(x))
+				}
+			}
+		}
+		myPos[j] = pos
+		for _, x := range pos {
+			lp.active[lp.NIn+int(full[x])] = true
+			ws.SampledBd++
+		}
+	}
+	// Broadcast selections. The sent position slices alias lp.myPos scratch:
+	// the receiver holds them for the rest of the epoch, and the next
+	// epoch's rewrite is safe because TrainEpoch joins all workers in
+	// between.
+	theirPos := lp.theirPos
+	if k > 1 {
+		for j := 0; j < k; j++ {
+			if j != rank {
+				w.SendI32(j, tagPositions, myPos[j])
+			}
+		}
+	}
+	// Everything derivable from the local sample runs between the position
+	// sends and receives, overlapping the peers' sampling even in the
+	// serialized schedule: the epoch subgraph, the effective-degree
+	// normalizer, the halo-free/halo-dependent row split, and the receive
+	// slot lists.
+	eg := lp.epochGraph()
+	// Self-normalized mean estimator: sampled remote neighbors carry weight
+	// 1/p in the numerator (the received features arrive pre-scaled), and
+	// the normalizer is the matching effective degree
+	// |local| + (1/p)·|sampled remote|. At p=1 this is exactly the full
+	// degree; for p<1 the estimate is a convex combination of neighbor
+	// features, so sampling noise cannot blow up activations the way the
+	// unnormalized 1/p estimator does on low-degree nodes.
+	invDeg := lp.InvDeg // EstimatorHT: normalize by the full global degree
+	if rt.Cfg.Estimator == EstimatorSelfNorm {
+		invDeg = lp.epochInvDeg
+		for v := 0; v < lp.NIn; v++ {
+			row := eg.Neighbors(int32(v))
+			remote := float32(len(row) - int(lp.localNbrs[v]))
+			eff := float32(lp.localNbrs[v]) + invP*remote
+			if eff > 0 {
+				invDeg[v] = 1 / eff
+			} else {
+				invDeg[v] = 0 // scratch is reused; clear stale entries
+			}
+		}
+	}
+	lp.splitRows(eg)
+	recvSlots := lp.recvSlots // halo local ids I fill from j
+	for j := 0; j < k; j++ {
+		if j == rank {
+			continue
+		}
+		full := rt.Topo.Recv[rank][j]
+		slots := recvSlots[j][:len(myPos[j])]
+		for x, posIdx := range myPos[j] {
+			slots[x] = int32(lp.NIn) + full[posIdx]
+		}
+		recvSlots[j] = slots
+	}
+	if k > 1 {
+		for j := 0; j < k; j++ {
+			if j != rank {
+				theirPos[j] = w.RecvI32(j, tagPositions)
+			}
+		}
+	}
+	sendRows := lp.sendRows // inner local ids to send to j, per layer
+	for j := 0; j < k; j++ {
+		if j == rank {
+			continue
+		}
+		full := rt.Topo.Send[rank][j]
+		rows := sendRows[j][:len(theirPos[j])]
+		for x, posIdx := range theirPos[j] {
+			rows[x] = full[posIdx]
+		}
+		sendRows[j] = rows
+	}
+	ws.Sample = time.Since(start)
+	// exchanging: does this epoch move any halo traffic at all? (False for
+	// k=1, p=0, or an epoch that sampled nothing.) Gates the raw comm-span
+	// accounting so halo-free compute is not misreported as comm span when
+	// there is no exchange in flight.
+	exchanging := false
+	for j := 0; j < k; j++ {
+		if j != rank && (len(sendRows[j]) > 0 || len(recvSlots[j]) > 0) {
+			exchanging = true
+		}
+	}
+
+	// --- Forward (lines 8–11) ---
+	nLocal := lp.NIn + lp.NBd
+	hInner := lp.Features // inner activations entering the current layer
+	for l, layer := range model.LayersL {
+		dim := layer.InputDim()
+		drop := model.Dropouts[l]
+		// x comes from the epoch workspace with undefined contents: inner
+		// rows are overwritten below, sampled halo slots by the drain, and
+		// unsampled halo slots are never read because epochGraph dropped
+		// every edge into them.
+		x := lp.ws.Get(nLocal, dim)
+		copy(x.Data[:lp.NIn*dim], hInner.Data[:lp.NIn*dim])
+
+		// Post the halo exchange. Payload buffers alias the epoch
+		// workspace; receivers consume them within this epoch.
+		cs := time.Now()
+		for j := 0; j < k; j++ {
+			if j == rank || len(sendRows[j]) == 0 {
+				continue
+			}
+			payload := lp.ws.GetF32(len(sendRows[j]) * dim)
+			for x2, row := range sendRows[j] {
+				copy(payload[x2*dim:(x2+1)*dim], hInner.Row(int(row)))
+			}
+			w.ISendF32(j, tagForward+l, payload)
+			ws.CommBytes += int64(4 * len(payload))
+		}
+		for j := 0; j < k; j++ {
+			if j == rank || len(recvSlots[j]) == 0 {
+				continue
+			}
+			lp.pendRecv[j] = w.IRecvF32(j, tagForward+l)
+		}
+		post := time.Since(cs)
+		ws.CommExposed += post
+		ws.Comm += post
+		flightStart := time.Now()
+
+		if overlap {
+			// Chunk 1 — halo-free rows — while boundary rows are in flight.
+			ps := time.Now()
+			xd := drop.ForwardBegin(x, true)
+			drop.ForwardRows(0, lp.NIn)
+			hInner = layer.ForwardBegin(eg, xd, lp.NIn, invDeg)
+			layer.ForwardPrep(0, lp.NIn)
+			layer.ForwardRows(lp.haloFree)
+			ws.Compute += time.Since(ps)
+
+			ds := time.Now()
+			rt.drainForward(w, x, l, dim, invP)
+			wd := time.Since(ds)
+			ws.CommExposed += wd
+			if exchanging {
+				ws.Comm += time.Since(flightStart)
+			} else {
+				ws.Comm += wd
+			}
+
+			// Chunk 2 — halo-dependent rows — on arrival.
+			ps = time.Now()
+			drop.ForwardRows(lp.NIn, nLocal)
+			layer.ForwardPrep(lp.NIn, nLocal)
+			layer.ForwardRows(lp.haloDep)
+			ws.Compute += time.Since(ps)
+		} else {
+			// Serialized baseline: identical calls, waits moved up front.
+			ds := time.Now()
+			rt.drainForward(w, x, l, dim, invP)
+			d := time.Since(ds)
+			ws.CommExposed += d
+			ws.Comm += d
+
+			ps := time.Now()
+			xd := drop.ForwardBegin(x, true)
+			drop.ForwardRows(0, lp.NIn)
+			hInner = layer.ForwardBegin(eg, xd, lp.NIn, invDeg)
+			layer.ForwardPrep(0, lp.NIn)
+			layer.ForwardRows(lp.haloFree)
+			drop.ForwardRows(lp.NIn, nLocal)
+			layer.ForwardPrep(lp.NIn, nLocal)
+			layer.ForwardRows(lp.haloDep)
+			ws.Compute += time.Since(ps)
+		}
+	}
+
+	// --- Loss (line 12) ---
+	ls := time.Now()
+	d := lp.ws.Get(hInner.Rows, hInner.Cols)
+	ws.Loss = LossInto(d, rt.DS, hInner, lp.Labels, lp.LabelMatrix, lp.TrainMask, rt.globalTrainCount)
+	model.ZeroGrad()
+	ws.Compute += time.Since(ls)
+
+	// --- Backward (line 13) ---
+	for l := len(model.LayersL) - 1; l >= 0; l-- {
+		layer := model.LayersL[l]
+		drop := model.Dropouts[l]
+		if l == 0 {
+			// Input features need no gradient: no halo exchange, and the
+			// dropout backward's output is unused — only the parameter
+			// gradients matter, which the one-shot backward accumulates.
+			bs := time.Now()
+			layer.Backward(d)
+			ws.Compute += time.Since(bs)
+			break
+		}
+		dim := layer.InputDim()
+
+		// Stage A: pre-activation grads, then the halo rows of the input
+		// gradient — the only rows the peers are waiting for.
+		bs := time.Now()
+		layer.BackwardBegin(d)
+		dH := layer.BackwardHalo(lp.haloDep, lp.haloSlots, lp.NIn)
+		dxm := drop.BackwardBegin(dH)
+		drop.BackwardRows(lp.NIn, nLocal)
+		ws.Compute += time.Since(bs)
+
+		// Post the gradient exchange.
+		cs := time.Now()
+		for j := 0; j < k; j++ {
+			if j == rank || len(recvSlots[j]) == 0 {
+				continue
+			}
+			payload := lp.ws.GetF32(len(recvSlots[j]) * dim)
+			for x2, slot := range recvSlots[j] {
+				src := dxm.Row(int(slot))
+				dst := payload[x2*dim : (x2+1)*dim]
+				for c, v := range src {
+					dst[c] = v * invP // chain rule through the 1/p scaling
+				}
+			}
+			w.ISendF32(j, tagBackward+l, payload)
+			ws.CommBytes += int64(4 * len(payload))
+		}
+		for j := 0; j < k; j++ {
+			if j == rank || len(sendRows[j]) == 0 {
+				continue
+			}
+			lp.pendRecv[j] = w.IRecvF32(j, tagBackward+l)
+		}
+		post := time.Since(cs)
+		ws.CommExposed += post
+		ws.Comm += post
+		flightStart := time.Now()
+
+		if !overlap {
+			// Serialized baseline: block for the peer gradients up front.
+			ds := time.Now()
+			for j := 0; j < k; j++ {
+				if j == rank || len(sendRows[j]) == 0 {
+					continue
+				}
+				lp.recvData[j] = lp.pendRecv[j].Wait()
+			}
+			wd := time.Since(ds)
+			ws.CommExposed += wd
+			ws.Comm += wd
+		}
+
+		// Stage B: parameter gradients + inner rows, overlapping the
+		// exchange when the pipelined schedule is on.
+		ps := time.Now()
+		layer.BackwardFinish(lp.haloFree, lp.NIn)
+		drop.BackwardRows(0, lp.NIn)
+		ws.Compute += time.Since(ps)
+
+		// Assemble the next output gradient: my inner rows plus the halo
+		// gradients the peers computed for them, folded in ascending peer
+		// order (the accumulation order is part of bit-identity).
+		as := time.Now()
+		dNext := lp.ws.Get(lp.NIn, dim)
+		copy(dNext.Data, dxm.Data[:lp.NIn*dim])
+		for j := 0; j < k; j++ {
+			if j == rank || len(sendRows[j]) == 0 {
+				continue
+			}
+			data := lp.recvData[j]
+			if data != nil {
+				lp.recvData[j] = nil
+			} else {
+				data = lp.pendRecv[j].Wait()
+			}
+			for x2, row := range sendRows[j] {
+				tensor.AddTo(dNext.Row(int(row)), data[x2*dim:(x2+1)*dim])
+			}
+			w.RecycleF32(data)
+		}
+		ad := time.Since(as)
+		ws.CommExposed += ad
+		if overlap && exchanging {
+			ws.Comm += time.Since(flightStart)
+		} else {
+			ws.Comm += ad
+		}
+		d = dNext
+	}
+
+	// --- Gradient AllReduce + update (lines 14–15) ---
+	rs := time.Now()
+	flat := nn.FlattenMats(model.Grads(), rt.flatGrad)
+	rt.flatGrad = flat
+	w.AllReduceSum(flat, tagReduce)
+	nn.UnflattenMats(model.Grads(), flat)
+	ws.ReduceBytes = int64(4 * len(flat))
+	rt.opt.Step(model.Params(), model.Grads())
+	ws.Reduce = time.Since(rs)
+
+	// Everything drawn from the epoch workspace is dead now; recycle it.
+	lp.ws.Reset()
+	return ws
+}
+
+// drainForward waits for this layer's boundary feature rows in ascending
+// peer order, writes them into the halo slots of x with the unbiased 1/p
+// rescaling (Section 3.2), and recycles the payload buffers. Callers time
+// the whole call and attribute it to the comm counters themselves.
+func (rt *RankTrainer) drainForward(w *comm.Worker, x *tensor.Matrix, l, dim int, invP float32) {
+	lp := rt.LP
+	for j := 0; j < rt.Topo.K; j++ {
+		if j == rt.Rank || len(lp.recvSlots[j]) == 0 {
+			continue
+		}
+		data := lp.pendRecv[j].Wait()
+		if len(data) != len(lp.recvSlots[j])*dim {
+			panic(fmt.Sprintf("core: rank %d layer %d: got %d floats from %d, want %d",
+				rt.Rank, l, len(data), j, len(lp.recvSlots[j])*dim))
+		}
+		for x2, slot := range lp.recvSlots[j] {
+			dst := x.Row(int(slot))
+			src := data[x2*dim : (x2+1)*dim]
+			for c, v := range src {
+				dst[c] = v * invP
+			}
+		}
+		w.RecycleF32(data)
+	}
+}

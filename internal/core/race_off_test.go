@@ -1,0 +1,7 @@
+//go:build !race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// regression tests skip under -race, whose instrumentation allocates.
+const raceEnabled = false

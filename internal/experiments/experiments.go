@@ -34,6 +34,9 @@ type Options struct {
 	Quick bool
 	// Seed is the master seed; all randomness derives from it.
 	Seed uint64
+	// OutPath, when non-empty, asks experiments that produce machine-readable
+	// results (currently "overlap") to also write them as JSON to this path.
+	OutPath string
 }
 
 func (o Options) withDefaults() Options {
@@ -210,6 +213,7 @@ func trainBNS(ds *datagen.Dataset, topo *core.Topology, model core.ModelConfig, 
 		res.AvgStats.SampleTime += st.SampleTime
 		res.AvgStats.ComputeTime += st.ComputeTime
 		res.AvgStats.CommTime += st.CommTime
+		res.AvgStats.ExposedCommTime += st.ExposedCommTime
 		res.AvgStats.ReduceTime += st.ReduceTime
 		res.AvgStats.CommBytes += st.CommBytes
 		res.AvgStats.ReduceBytes += st.ReduceBytes
@@ -222,6 +226,7 @@ func trainBNS(ds *datagen.Dataset, topo *core.Topology, model core.ModelConfig, 
 	res.AvgStats.SampleTime /= time.Duration(n)
 	res.AvgStats.ComputeTime /= time.Duration(n)
 	res.AvgStats.CommTime /= time.Duration(n)
+	res.AvgStats.ExposedCommTime /= time.Duration(n)
 	res.AvgStats.ReduceTime /= time.Duration(n)
 	res.AvgStats.CommBytes /= n
 	res.AvgStats.ReduceBytes /= n

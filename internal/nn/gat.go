@@ -78,6 +78,22 @@ func (l *GATConv) ZeroGrad() { zeroGradAll(l.Grads()) }
 
 // Forward computes attention outputs for the first nOut rows of h.
 func (l *GATConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int) *tensor.Matrix {
+	out := l.ForwardBegin(g, h, nOut)
+	l.ForwardPrep(0, h.Rows)
+	for v := 0; v < nOut; v++ {
+		l.forwardNode(v)
+	}
+	return out
+}
+
+// ForwardBegin starts a chunked forward pass: it validates shapes, installs
+// the backward caches, and returns the output matrix whose rows ForwardRows
+// will fill. ForwardPrep must cover a node's feature row before any output
+// row that attends to it runs. Chunking cannot change results — every output
+// row is produced by the same per-node computation in the same flat buffer
+// slot — so any duplicate-free partition of [0, nOut) reproduces Forward bit
+// for bit; the chunked-pass property tests pin this.
+func (l *GATConv) ForwardBegin(g *graph.Graph, h *tensor.Matrix, nOut int) *tensor.Matrix {
 	if h.Cols != l.InDim {
 		panic(fmt.Sprintf("nn: GATConv input dim %d, want %d", h.Cols, l.InDim))
 	}
@@ -85,95 +101,125 @@ func (l *GATConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int) *tensor.Ma
 		panic(fmt.Sprintf("nn: GATConv graph %d nodes, features %d rows, nOut %d", g.N, h.Rows, nOut))
 	}
 	l.g, l.nOut, l.nAll, l.h = g, nOut, h.Rows, h
-
-	wh := ensureMat(&l.wh, h.Rows, l.OutDim)
-	tensor.MatMul(wh, h, l.W)
-
-	a1 := l.A1.Row(0)
-	a2 := l.A2.Row(0)
-	// s1[u] = a1·Wh_u, s2[u] = a2·Wh_u precomputed for all nodes.
-	s1 := ensureF32(&l.s1, h.Rows)
-	s2 := ensureF32(&l.s2, h.Rows)
-	for u := 0; u < h.Rows; u++ {
-		s1[u] = tensor.Dot(a1, wh.Row(u))
-		s2[u] = tensor.Dot(a2, wh.Row(u))
-	}
-
+	ensureMat(&l.wh, h.Rows, l.OutDim)
+	ensureF32(&l.s1, h.Rows)
+	ensureF32(&l.s2, h.Rows)
 	// One attention entry per (node, self∪neighbor) pair, packed flat.
 	total := nOut + int(g.Indptr[nOut]-g.Indptr[0])
-	flatE := ensureF32(&l.alphaBuf, total)
-	flatRaw := ensureF32(&l.rawBuf, total)
+	ensureF32(&l.alphaBuf, total)
+	ensureF32(&l.rawBuf, total)
 	if cap(l.alpha) < nOut {
 		l.alpha = make([][]float32, nOut)
 		l.eRaw = make([][]float32, nOut)
 	}
 	l.alpha = l.alpha[:nOut]
 	l.eRaw = l.eRaw[:nOut]
+	ensureMat(&l.pre, nOut, l.OutDim)
+	return ensureMat(&l.out, nOut, l.OutDim)
+}
 
-	pre := ensureMat(&l.pre, nOut, l.OutDim)
-	off := 0
-	for v := 0; v < nOut; v++ {
-		nbrs := g.Neighbors(int32(v))
-		k := len(nbrs) + 1 // self first, then neighbors
-		e := flatE[off : off+k]
-		raw := flatRaw[off : off+k]
-		off += k
-		e[0] = s1[v] + s2[v]
-		for i, u := range nbrs {
-			e[i+1] = s1[v] + s2[u]
-		}
-		copy(raw, e)
-		l.eRaw[v] = raw
-		for i, x := range e {
-			if x < 0 {
-				e[i] = x * l.NegSlope
-			}
-		}
-		// Softmax over k entries.
-		mx := e[0]
-		for _, x := range e {
-			if x > mx {
-				mx = x
-			}
-		}
-		var sum float64
-		for i, x := range e {
-			ex := math.Exp(float64(x - mx))
-			e[i] = float32(ex)
-			sum += ex
-		}
-		inv := float32(1 / sum)
-		for i := range e {
-			e[i] *= inv
-		}
-		l.alpha[v] = e
-		// z_v = Σ α · Wh.
-		row := pre.Row(v)
-		self := wh.Row(v)
-		for j, x := range self {
-			row[j] = e[0] * x
-		}
-		for i, u := range nbrs {
-			tensor.Axpy(row, wh.Row(int(u)), e[i+1])
+// ForwardPrep computes Wh and the attention scores s1/s2 for feature rows
+// [r0, r1). Rows are independent, so ranges may run in any order; each row
+// must be covered exactly once per pass.
+func (l *GATConv) ForwardPrep(r0, r1 int) {
+	tensor.MatMulRange(l.wh, l.h, l.W, r0, r1)
+	a1 := l.A1.Row(0)
+	a2 := l.A2.Row(0)
+	for u := r0; u < r1; u++ {
+		l.s1[u] = tensor.Dot(a1, l.wh.Row(u))
+		l.s2[u] = tensor.Dot(a2, l.wh.Row(u))
+	}
+}
+
+// ForwardRows computes the output rows listed in rows (each row of [0, nOut)
+// must appear exactly once across all calls of one pass).
+func (l *GATConv) ForwardRows(rows []int32) {
+	for _, v := range rows {
+		l.forwardNode(int(v))
+	}
+}
+
+// forwardNode computes attention and the activated output for node v. Its
+// alpha/raw segment lives at the deterministic flat offset
+// v + Indptr[v]−Indptr[0] — the packing a sequential full pass produces — so
+// chunk order cannot move entries.
+func (l *GATConv) forwardNode(v int) {
+	g := l.g
+	nbrs := g.Neighbors(int32(v))
+	k := len(nbrs) + 1 // self first, then neighbors
+	off := v + int(g.Indptr[v]-g.Indptr[0])
+	e := l.alphaBuf[off : off+k]
+	raw := l.rawBuf[off : off+k]
+	s1, s2 := l.s1, l.s2
+	e[0] = s1[v] + s2[v]
+	for i, u := range nbrs {
+		e[i+1] = s1[v] + s2[u]
+	}
+	copy(raw, e)
+	l.eRaw[v] = raw
+	for i, x := range e {
+		if x < 0 {
+			e[i] = x * l.NegSlope
 		}
 	}
-	out := ensureMat(&l.out, nOut, l.OutDim)
-	applyActivationInto(out, l.Act, pre)
-	return out
+	// Softmax over k entries.
+	mx := e[0]
+	for _, x := range e {
+		if x > mx {
+			mx = x
+		}
+	}
+	var sum float64
+	for i, x := range e {
+		ex := math.Exp(float64(x - mx))
+		e[i] = float32(ex)
+		sum += ex
+	}
+	inv := float32(1 / sum)
+	for i := range e {
+		e[i] *= inv
+	}
+	l.alpha[v] = e
+	// z_v = Σ α · Wh.
+	row := l.pre.Row(v)
+	self := l.wh.Row(v)
+	for j, x := range self {
+		row[j] = e[0] * x
+	}
+	for i, u := range nbrs {
+		tensor.Axpy(row, l.wh.Row(int(u)), e[i+1])
+	}
+	activationRow(l.out.Row(v), l.Act, row)
 }
 
 // Backward accumulates parameter gradients and returns the gradient with
 // respect to the full input matrix (nAll × InDim).
 func (l *GATConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	l.BackwardBegin(dOut)
+	for v := 0; v < l.nOut; v++ {
+		l.backwardNode(v, 0, l.nAll, true)
+	}
+	l.backwardParams()
+	dH := l.dH
+	tensor.MatMulTransB(dH, l.dWh, l.W)
+	return dH
+}
+
+// BackwardBegin starts a staged backward pass: it computes the
+// pre-activation gradient for every output row and zeroes the Wh-gradient
+// and attention-vector accumulators. The staged schedule (BackwardBegin →
+// BackwardHalo → BackwardFinish) reproduces the one-shot Backward bit for
+// bit: halo rows of dWh receive contributions only from outputs with a halo
+// neighbor, sweeps are destination-filtered so every += lands on each
+// destination row (and on da1/da2) in exactly the order of the unsplit
+// sweep, and the dH matmuls are per-row stable.
+func (l *GATConv) BackwardBegin(dOut *tensor.Matrix) {
 	if dOut.Rows != l.nOut || dOut.Cols != l.OutDim {
 		panic(fmt.Sprintf("nn: GATConv backward shape %dx%d, want %dx%d", dOut.Rows, dOut.Cols, l.nOut, l.OutDim))
 	}
 	dPre := ensureMat(&l.dPre, dOut.Rows, dOut.Cols)
 	copy(dPre.Data, dOut.Data)
 	activationGrad(l.Act, dPre, l.pre)
-
-	a1 := l.A1.Row(0)
-	a2 := l.A2.Row(0)
 	dWh := ensureMat(&l.dWh, l.nAll, l.OutDim)
 	dWh.Zero()
 	da1 := ensureF32(&l.da1, l.OutDim)
@@ -182,62 +228,112 @@ func (l *GATConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 		da1[j] = 0
 		da2[j] = 0
 	}
+	ensureMat(&l.dH, l.nAll, l.InDim) // rows computed stage by stage
+}
 
+// BackwardHalo completes the listed halo rows of the input gradient so they
+// can be sent while the rest of the backward pass runs. haloSrc must list,
+// in ascending order, every output row with at least one neighbor ≥ nIn;
+// haloSlots lists the halo rows whose gradients are needed (the sampled
+// boundary slots). The returned matrix is the shared input-gradient
+// accumulator: the haloSlots rows are final, rows < nIn complete only after
+// BackwardFinish, and unlisted halo rows stay undefined.
+func (l *GATConv) BackwardHalo(haloSrc, haloSlots []int32, nIn int) *tensor.Matrix {
+	for _, v := range haloSrc {
+		l.backwardNode(int(v), nIn, l.nAll, false)
+	}
+	tensor.MatMulTransBRows(l.dH, l.dWh, l.W, haloSlots)
+	return l.dH
+}
+
+// BackwardFinish accumulates DW/DA1/DA2 and completes the inner rows
+// [0, nIn) of the input gradient. The sweep revisits every output row (the
+// attention backward of a halo-dependent row also feeds inner destinations),
+// so freeSrc is unused by GAT — SAGE needs it.
+func (l *GATConv) BackwardFinish(freeSrc []int32, nIn int) *tensor.Matrix {
 	for v := 0; v < l.nOut; v++ {
-		nbrs := l.g.Neighbors(int32(v))
-		alpha := l.alpha[v]
-		raw := l.eRaw[v]
-		dz := dPre.Row(v)
-		k := len(alpha)
+		l.backwardNode(v, 0, nIn, true)
+	}
+	l.backwardParams()
+	tensor.MatMulTransBRange(l.dH, l.dWh, l.W, 0, nIn)
+	return l.dH
+}
 
-		// dα_i = dz · Wh_{u_i}; and dWh_{u_i} += α_i dz.
-		dAlpha := ensureF32(&l.dAlpha, k)
-		nodeOf := func(i int) int {
-			if i == 0 {
-				return v
-			}
-			return int(nbrs[i-1])
+// backwardNode runs the attention backward for output node v, applying
+// gradient writes only to dWh destination rows u with destLo ≤ u < destHi
+// and accumulating da1/da2 only when accumA is set. Splitting one sweep into
+// destination-filtered sweeps preserves, for every destination row and for
+// da1/da2, the exact += order of the unfiltered sweep (the staged schedule
+// recomputes dα for halo-dependent rows, which is pure recomputation of the
+// same values).
+func (l *GATConv) backwardNode(v, destLo, destHi int, accumA bool) {
+	nbrs := l.g.Neighbors(int32(v))
+	alpha := l.alpha[v]
+	raw := l.eRaw[v]
+	dz := l.dPre.Row(v)
+	k := len(alpha)
+
+	// dα_i = dz · Wh_{u_i}; and dWh_{u_i} += α_i dz.
+	dAlpha := ensureF32(&l.dAlpha, k)
+	nodeOf := func(i int) int {
+		if i == 0 {
+			return v
 		}
-		for i := 0; i < k; i++ {
-			u := nodeOf(i)
-			dAlpha[i] = tensor.Dot(dz, l.wh.Row(u))
-			tensor.Axpy(dWh.Row(u), dz, alpha[i])
+		return int(nbrs[i-1])
+	}
+	for i := 0; i < k; i++ {
+		u := nodeOf(i)
+		dAlpha[i] = tensor.Dot(dz, l.wh.Row(u))
+		if u >= destLo && u < destHi {
+			tensor.Axpy(l.dWh.Row(u), dz, alpha[i])
 		}
-		// Softmax backward: de_i = α_i (dα_i − Σ_j α_j dα_j).
-		var inner float32
-		for i := 0; i < k; i++ {
-			inner += alpha[i] * dAlpha[i]
+	}
+	// Softmax backward: de_i = α_i (dα_i − Σ_j α_j dα_j).
+	var inner float32
+	for i := 0; i < k; i++ {
+		inner += alpha[i] * dAlpha[i]
+	}
+	a1 := l.A1.Row(0)
+	a2 := l.A2.Row(0)
+	whv := l.wh.Row(v)
+	for i := 0; i < k; i++ {
+		de := alpha[i] * (dAlpha[i] - inner)
+		// LeakyReLU backward.
+		if raw[i] < 0 {
+			de *= l.NegSlope
 		}
-		for i := 0; i < k; i++ {
-			de := alpha[i] * (dAlpha[i] - inner)
-			// LeakyReLU backward.
-			if raw[i] < 0 {
-				de *= l.NegSlope
-			}
-			// e_i = a1·Wh_v + a2·Wh_{u_i}.
-			u := nodeOf(i)
-			whv := l.wh.Row(v)
-			whu := l.wh.Row(u)
-			dv := dWh.Row(v)
-			duu := dWh.Row(u)
+		// e_i = a1·Wh_v + a2·Wh_{u_i}.
+		u := nodeOf(i)
+		whu := l.wh.Row(u)
+		if accumA {
+			da1, da2 := l.da1, l.da2
 			for j := 0; j < l.OutDim; j++ {
 				da1[j] += de * whv[j]
 				da2[j] += de * whu[j]
+			}
+		}
+		if v >= destLo && v < destHi {
+			dv := l.dWh.Row(v)
+			for j := 0; j < l.OutDim; j++ {
 				dv[j] += de * a1[j]
+			}
+		}
+		if u >= destLo && u < destHi {
+			duu := l.dWh.Row(u)
+			for j := 0; j < l.OutDim; j++ {
 				duu[j] += de * a2[j]
 			}
 		}
 	}
+}
+
+// backwardParams folds the per-pass accumulators into DA1/DA2 and DW.
+func (l *GATConv) backwardParams() {
 	for j := 0; j < l.OutDim; j++ {
-		l.DA1.Data[j] += da1[j]
-		l.DA2.Data[j] += da2[j]
+		l.DA1.Data[j] += l.da1[j]
+		l.DA2.Data[j] += l.da2[j]
 	}
-
 	dW := ensureMat(&l.dWScratch, l.InDim, l.OutDim)
-	tensor.MatMulTransA(dW, l.h, dWh)
+	tensor.MatMulTransA(dW, l.h, l.dWh)
 	l.DW.Add(dW)
-
-	dH := ensureMat(&l.dH, l.nAll, l.InDim)
-	tensor.MatMulTransB(dH, dWh, l.W)
-	return dH
 }

@@ -83,6 +83,50 @@ func ensureF32(buf *[]float32, n int) []float32 {
 	return s
 }
 
+// activationRow writes act(pre) into one row slice; elementwise, so
+// bit-identical to applyActivationInto restricted to that row.
+func activationRow(dst []float32, a Activation, pre []float32) {
+	switch a {
+	case NoAct:
+		copy(dst, pre)
+	case ReLUAct:
+		for j, x := range pre {
+			if x < 0 {
+				dst[j] = 0
+			} else {
+				dst[j] = x
+			}
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a))
+	}
+}
+
+// activationRows writes act(pre) into dst for the given rows only. The
+// activations are elementwise, so per-row application is bit-identical to
+// applyActivationInto restricted to those rows.
+func activationRows(dst *tensor.Matrix, a Activation, pre *tensor.Matrix, rows []int32) {
+	switch a {
+	case NoAct:
+		for _, v := range rows {
+			copy(dst.Row(int(v)), pre.Row(int(v)))
+		}
+	case ReLUAct:
+		for _, v := range rows {
+			drow := dst.Row(int(v))
+			for j, x := range pre.Row(int(v)) {
+				if x < 0 {
+					drow[j] = 0
+				} else {
+					drow[j] = x
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("nn: unknown activation %d", a))
+	}
+}
+
 // activationGrad multiplies dOut in place by act'(pre).
 func activationGrad(a Activation, dOut, pre *tensor.Matrix) {
 	switch a {
@@ -180,10 +224,20 @@ func consumeMats(mats []*tensor.Matrix, flat []float32, i int) int {
 
 // Dropout zeroes each element with probability Rate during training and
 // scales survivors by 1/(1-Rate) (inverted dropout).
+//
+// Both passes can run in row chunks (ForwardBegin/ForwardRows and
+// BackwardBegin/BackwardRows) so the pipelined epoch engine can drop a
+// partition's inner rows while halo rows are still in flight. The mask RNG
+// stream is consumed in element order, so forward chunks must be ascending,
+// disjoint ranges covering [0, Rows) — then chunking draws exactly the masks
+// a single full pass would, and results are bit-identical.
 type Dropout struct {
 	Rate float32
 	rng  *tensor.RNG
 	mask *tensor.Matrix // nil when the last Forward was identity
+
+	fwdSrc *tensor.Matrix // input of the in-progress chunked forward
+	bwdSrc *tensor.Matrix // dOut of the in-progress chunked backward
 
 	maskBuf, outBuf, dxBuf *tensor.Matrix
 }
@@ -199,38 +253,79 @@ func NewDropout(rate float32, rng *tensor.RNG) *Dropout {
 // Forward applies dropout when train is true; at inference it is identity.
 // The returned matrix is layer-owned scratch, valid until the next Forward.
 func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
+	out := d.ForwardBegin(x, train)
+	d.ForwardRows(0, x.Rows)
+	return out
+}
+
+// ForwardBegin starts a chunked training-mode pass over x and returns the
+// output matrix the chunks will fill (x itself when the pass is identity).
+// ForwardRows must then be called with ascending, disjoint row ranges
+// covering [0, x.Rows); a row's output is valid once its range has run.
+func (d *Dropout) ForwardBegin(x *tensor.Matrix, train bool) *tensor.Matrix {
 	if !train || d.Rate == 0 {
 		d.mask = nil
+		d.fwdSrc = nil
 		return x
+	}
+	d.fwdSrc = x
+	d.mask = ensureMat(&d.maskBuf, x.Rows, x.Cols)
+	return ensureMat(&d.outBuf, x.Rows, x.Cols)
+}
+
+// ForwardRows draws masks for rows [r0, r1) and writes the matching output
+// rows. A no-op when the pass is identity.
+func (d *Dropout) ForwardRows(r0, r1 int) {
+	if d.mask == nil {
+		return
 	}
 	keep := 1 - d.Rate
 	scale := 1 / keep
-	mask := ensureMat(&d.maskBuf, x.Rows, x.Cols)
-	out := ensureMat(&d.outBuf, x.Rows, x.Cols)
-	for i, v := range x.Data {
+	lo, hi := r0*d.fwdSrc.Cols, r1*d.fwdSrc.Cols
+	mask, out := d.mask.Data, d.outBuf.Data
+	for i, v := range d.fwdSrc.Data[lo:hi] {
 		if d.rng.Float32() < keep {
-			mask.Data[i] = scale
-			out.Data[i] = v * scale
+			mask[lo+i] = scale
+			out[lo+i] = v * scale
 		} else {
-			mask.Data[i] = 0
-			out.Data[i] = 0
+			mask[lo+i] = 0
+			out[lo+i] = 0
 		}
 	}
-	d.mask = mask
-	return out
 }
 
 // Backward routes gradients through the last Forward's mask. The returned
 // matrix is layer-owned scratch, valid until the next Backward.
 func (d *Dropout) Backward(dOut *tensor.Matrix) *tensor.Matrix {
+	dx := d.BackwardBegin(dOut)
+	d.BackwardRows(0, dOut.Rows)
+	return dx
+}
+
+// BackwardBegin starts a chunked backward pass and returns the gradient
+// matrix the chunks will fill (dOut itself when the last Forward was
+// identity). The mask application is elementwise — no RNG — so backward
+// chunks may run in any order; each row must be covered exactly once.
+func (d *Dropout) BackwardBegin(dOut *tensor.Matrix) *tensor.Matrix {
 	if d.mask == nil {
+		d.bwdSrc = nil
 		return dOut
 	}
-	dx := ensureMat(&d.dxBuf, dOut.Rows, dOut.Cols)
-	for i, v := range dOut.Data {
-		dx.Data[i] = v * d.mask.Data[i]
+	d.bwdSrc = dOut
+	return ensureMat(&d.dxBuf, dOut.Rows, dOut.Cols)
+}
+
+// BackwardRows applies the mask to gradient rows [r0, r1). A no-op when the
+// pass is identity.
+func (d *Dropout) BackwardRows(r0, r1 int) {
+	if d.bwdSrc == nil {
+		return
 	}
-	return dx
+	lo, hi := r0*d.bwdSrc.Cols, r1*d.bwdSrc.Cols
+	dx, mask := d.dxBuf.Data, d.mask.Data
+	for i, v := range d.bwdSrc.Data[lo:hi] {
+		dx[lo+i] = v * mask[lo+i]
+	}
 }
 
 // SoftmaxCrossEntropy computes mean softmax cross-entropy over the rows of

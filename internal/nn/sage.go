@@ -32,6 +32,7 @@ type SAGEConv struct {
 	nOut   int
 	nAll   int
 	invDeg []float32
+	hIn    *tensor.Matrix // input features of the in-progress chunked pass
 	concat *tensor.Matrix // nOut × 2*InDim
 	pre    *tensor.Matrix // nOut × OutDim
 
@@ -111,6 +112,67 @@ func (l *SAGEConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []
 	return out
 }
 
+// ForwardBegin starts a chunked forward pass: it validates shapes, installs
+// the backward caches, and returns the output matrix whose rows ForwardRows
+// will fill. Chunking cannot change results — every output row is computed
+// with exactly the per-row arithmetic of the one-shot Forward (see
+// tensor.MatMulRows) and rows are independent — so any duplicate-free
+// partition of [0, nOut) reproduces Forward bit for bit; the chunked-pass
+// property tests pin this.
+func (l *SAGEConv) ForwardBegin(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix {
+	if h.Cols != l.InDim {
+		panic(fmt.Sprintf("nn: SAGEConv input dim %d, want %d", h.Cols, l.InDim))
+	}
+	if g.N != h.Rows {
+		panic(fmt.Sprintf("nn: SAGEConv graph has %d nodes, features %d rows", g.N, h.Rows))
+	}
+	if nOut > h.Rows || len(invDeg) < nOut {
+		panic(fmt.Sprintf("nn: SAGEConv nOut=%d rows=%d invDeg=%d", nOut, h.Rows, len(invDeg)))
+	}
+	l.g, l.nOut, l.nAll, l.invDeg, l.hIn = g, nOut, h.Rows, invDeg, h
+	ensureMat(&l.concat, nOut, 2*l.InDim)
+	ensureMat(&l.pre, nOut, l.OutDim)
+	return ensureMat(&l.out, nOut, l.OutDim)
+}
+
+// ForwardPrep computes per-node precomputations for feature rows [r0, r1).
+// SAGE has none; GAT uses it for Wh and the attention scores.
+func (l *SAGEConv) ForwardPrep(r0, r1 int) {}
+
+// ForwardRows computes the output rows listed in rows (each row of [0, nOut)
+// must appear exactly once across all calls of one pass). A row may be
+// computed as soon as the feature rows of its neighbors are in place — the
+// pipelined engine runs halo-independent rows while boundary features are
+// still in flight.
+func (l *SAGEConv) ForwardRows(rows []int32) {
+	in := l.InDim
+	h := l.hIn
+	for _, v32 := range rows {
+		v := int(v32)
+		row := l.concat.Row(v)
+		zrow := row[:in]
+		for j := range zrow {
+			zrow[j] = 0
+		}
+		for _, u := range l.g.Neighbors(int32(v)) {
+			tensor.AddTo(zrow, h.Data[int(u)*in:int(u)*in+in])
+		}
+		s := l.invDeg[v]
+		for j := range zrow {
+			zrow[j] *= s
+		}
+		copy(row[in:], h.Row(v))
+	}
+	tensor.MatMulRows(l.pre, l.concat, l.W, rows)
+	for _, v32 := range rows {
+		row := l.pre.Row(int(v32))
+		for j, b := range l.B.Row(0) {
+			row[j] += b
+		}
+	}
+	activationRows(l.out, l.Act, l.pre, rows)
+}
+
 // Backward consumes dOut (nOut × OutDim), accumulates DW/DB, and returns the
 // gradient with respect to the full input feature matrix (nAll × InDim),
 // including halo rows. The returned matrix is layer-owned scratch, valid
@@ -152,6 +214,79 @@ func (l *SAGEConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 		}
 	}
 	return dH
+}
+
+// BackwardBegin starts a staged backward pass: it computes the
+// pre-activation gradient for every output row and zeroes the input-gradient
+// accumulator. The staged schedule (BackwardBegin → BackwardHalo →
+// BackwardFinish) reproduces the one-shot Backward bit for bit: a halo row
+// of the input gradient receives contributions only from outputs with a halo
+// neighbor, and an inner row only from the finish sweep, so every += lands
+// on each destination row in exactly the order of the unsplit sweep.
+func (l *SAGEConv) BackwardBegin(dOut *tensor.Matrix) {
+	if dOut.Rows != l.nOut || dOut.Cols != l.OutDim {
+		panic(fmt.Sprintf("nn: SAGEConv backward shape %dx%d, want %dx%d", dOut.Rows, dOut.Cols, l.nOut, l.OutDim))
+	}
+	dPre := ensureMat(&l.dPre, dOut.Rows, dOut.Cols)
+	copy(dPre.Data, dOut.Data)
+	activationGrad(l.Act, dPre, l.pre)
+	ensureMat(&l.dConcat, l.nOut, 2*l.InDim) // rows filled stage by stage
+	dH := ensureMat(&l.dH, l.nAll, l.InDim)
+	dH.Zero()
+}
+
+// BackwardHalo completes the halo rows [nIn, nAll) of the input gradient so
+// they can be sent while the rest of the backward pass runs. haloSrc must
+// list, in ascending order, every output row with at least one neighbor
+// ≥ nIn; haloSlots is unused by SAGE (GAT needs it). The returned matrix is
+// the shared input-gradient accumulator: its rows ≥ nIn are final, rows
+// < nIn complete only after BackwardFinish.
+func (l *SAGEConv) BackwardHalo(haloSrc, haloSlots []int32, nIn int) *tensor.Matrix {
+	tensor.MatMulTransBRows(l.dConcat, l.dPre, l.W, haloSrc)
+	in := l.InDim
+	for _, v32 := range haloSrc {
+		v := int(v32)
+		s := l.invDeg[v]
+		if s == 0 {
+			continue
+		}
+		dz := l.dConcat.Row(v)[:in]
+		for _, u := range l.g.Neighbors(v32) {
+			if int(u) >= nIn {
+				tensor.Axpy(l.dH.Data[int(u)*in:int(u)*in+in], dz, s)
+			}
+		}
+	}
+	return l.dH
+}
+
+// BackwardFinish accumulates DW/DB and completes the inner rows [0, nIn) of
+// the input gradient. freeSrc must list, ascending, every output row not in
+// BackwardHalo's haloSrc; together they cover [0, nOut) exactly once.
+func (l *SAGEConv) BackwardFinish(freeSrc []int32, nIn int) *tensor.Matrix {
+	dW := ensureMat(&l.dWScratch, 2*l.InDim, l.OutDim)
+	tensor.MatMulTransA(dW, l.concat, l.dPre)
+	l.DW.Add(dW)
+	for v := 0; v < l.nOut; v++ {
+		tensor.AddTo(l.DB.Row(0), l.dPre.Row(v))
+	}
+	tensor.MatMulTransBRows(l.dConcat, l.dPre, l.W, freeSrc)
+	in := l.InDim
+	for v := 0; v < l.nOut; v++ {
+		drow := l.dConcat.Row(v)
+		tensor.AddTo(l.dH.Row(v), drow[in:]) // self term (v < nIn by construction)
+		s := l.invDeg[v]
+		if s == 0 {
+			continue
+		}
+		dz := drow[:in]
+		for _, u := range l.g.Neighbors(int32(v)) {
+			if int(u) < nIn {
+				tensor.Axpy(l.dH.Data[int(u)*in:int(u)*in+in], dz, s)
+			}
+		}
+	}
+	return l.dH
 }
 
 // InvDegrees returns 1/degree for every node of g (0 for isolated nodes),
