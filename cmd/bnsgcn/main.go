@@ -10,9 +10,13 @@
 //	bnsgcn -dataset reddit -k 8 -p 0.1 -epochs 100
 //	bnsgcn -dataset yelp -k 10 -p 0.01 -arch sage -layers 4 -hidden 32
 //
-//	# pipelined epoch schedule: overlap halo exchange with inner-node
-//	# compute (identical results, lower exposed comm time)
-//	bnsgcn -dataset reddit -k 8 -p 0.1 -overlap
+// The pipelined epoch schedule is the default: halo exchange overlaps
+// inner-node compute and each peer's boundary rows complete in arrival
+// order (identical results, lower exposed comm time). -drain=rank keeps the
+// pipelining but drains peers in ascending rank order; -overlap=false falls
+// back to the fully serialized baseline:
+//
+//	bnsgcn -dataset reddit -k 8 -p 0.1 -overlap=false
 //
 //	# multi-process on one machine: spawn 4 workers over loopback
 //	bnsgcn -dataset reddit -p 0.1 -world 4 -rendezvous 127.0.0.1:29500 -spawn
@@ -61,7 +65,8 @@ func main() {
 		scale   = flag.Int("scale", 1, "dataset scale multiplier")
 		seed    = flag.Uint64("seed", 1, "master seed")
 		every   = flag.Int("eval-every", 10, "evaluate test score every N epochs (0 = end only)")
-		overlap = flag.Bool("overlap", false, "pipelined epoch schedule: overlap halo communication with inner-node compute (bit-identical results)")
+		overlap = flag.Bool("overlap", true, "pipelined epoch schedule: overlap halo communication with inner-node compute (bit-identical results; -overlap=false for the serialized baseline)")
+		drain   = flag.String("drain", "arrival", "overlapped drain order: arrival (complete whichever peer's halo data lands first) or rank (ascending rank order)")
 
 		rank  = flag.Int("rank", -1, "this process's rank in a multi-process run (requires -rendezvous)")
 		world = flag.Int("world", 0, "ranks in a multi-process run = partition count (requires -rendezvous)")
@@ -143,7 +148,19 @@ func main() {
 		Arch: core.Arch(*arch), Layers: *layers, Hidden: *hidden,
 		Dropout: float32(*dropout), LR: float32(*lr), Seed: *seed,
 	}
-	pcfg := core.ParallelConfig{Model: mc, P: *p, SampleSeed: *seed + 1, Overlap: *overlap}
+	var sched core.Schedule
+	switch *drain {
+	case "arrival":
+		sched = core.ScheduleOverlap
+	case "rank":
+		sched = core.ScheduleOverlapRank
+	default:
+		fatal(fmt.Errorf("unknown -drain %q (want arrival or rank)", *drain))
+	}
+	if !*overlap {
+		sched = core.ScheduleSerialized
+	}
+	pcfg := core.ParallelConfig{Model: mc, P: *p, SampleSeed: *seed + 1, Schedule: sched}
 
 	if distributed {
 		logf("training %s (%d layers, %d hidden) for %d epochs at p=%.2g on %d processes over TCP\n\n",

@@ -34,6 +34,7 @@ type chanState struct {
 	barrier   *reusableBarrier
 	bytesSent []atomic.Int64 // per source rank
 	msgsSent  []atomic.Int64
+	regs      []notifyReg // per destination rank: completion notifications
 
 	failErr error // written once before failCh closes
 	failOn  sync.Once
@@ -47,6 +48,9 @@ func (s *chanState) fail(err error) {
 		s.failErr = err
 		close(s.failCh)
 		s.barrier.abort()
+		for r := range s.regs {
+			s.regs[r].flush()
+		}
 	})
 }
 
@@ -82,6 +86,7 @@ func New(m int, queueCap int) *Cluster {
 		barrier:   newBarrier(m),
 		bytesSent: make([]atomic.Int64, m),
 		msgsSent:  make([]atomic.Int64, m),
+		regs:      make([]notifyReg, m),
 		failCh:    make(chan struct{}),
 	}
 	ts := make([]Transport, m)
@@ -128,9 +133,12 @@ func (t *ChanTransport) send(dst int, msg message) {
 }
 
 // SendF32 sends a float32 payload to dst with a tag. The payload is not
-// copied; the sender must not mutate it afterwards.
+// copied; the sender must not mutate it afterwards. The arrival is stamped
+// into the destination's notification ledger before the enqueue, so a
+// notified consumer's receive can block only on the enqueue itself.
 func (t *ChanTransport) SendF32(dst, tag int, data []float32) {
 	t.account(4 * len(data))
+	t.s.regs[dst].arrived(t.rank, tag)
 	t.send(dst, message{tag: tag, f32: data})
 }
 
@@ -153,6 +161,15 @@ func (t *ChanTransport) ISendF32(dst, tag int, data []float32) PendingSend {
 // enqueues directly into the per-pair channel), so the message makes
 // progress regardless of when Wait runs.
 func (t *ChanTransport) IRecvF32(src, tag int) PendingRecvF32 {
+	return PendingRecvF32{t: t, src: src, tag: tag}
+}
+
+// IRecvF32Notify posts a nonblocking receive with a completion
+// notification; see Transport.IRecvF32Notify. Senders stamp the
+// destination's ledger before enqueuing, so the token fires no earlier than
+// the send that satisfies it.
+func (t *ChanTransport) IRecvF32Notify(src, tag int, notify chan<- int, token int) PendingRecvF32 {
+	t.s.regs[t.rank].register(src, tag, notify, token)
 	return PendingRecvF32{t: t, src: src, tag: tag}
 }
 

@@ -8,23 +8,97 @@ import (
 // WithLatency wraps every endpoint of a co-located group so that each
 // payload message becomes *consumable* only `delay` after it was sent,
 // modelling the propagation latency of a real link on top of whatever the
-// underlying backend costs. The receive path first performs the backend
+// underlying backend costs. It is shorthand for WithLinkModel with a uniform
+// base latency; see LinkModel for the richer per-link form.
+func WithLatency(g *Group, delay time.Duration) *Group {
+	return WithLinkModel(g, LinkModel{Latency: delay})
+}
+
+// Link identifies one directed (src, dst) rank pair.
+type Link struct{ Src, Dst int }
+
+// LinkModel describes a simulated network for WithLinkModel. The delay of a
+// message of n payload bytes on link (s→d) is
+//
+//	base(s→d) + n/BytesPerSecond + jitter
+//
+// where base is PerLink[{s,d}] when present and Latency otherwise, the
+// bandwidth term is skipped when BytesPerSecond is 0 (infinite link), and
+// jitter is drawn uniformly from [0, Jitter) by a deterministic per-message
+// hash of (Seed, src, dst, tag, per-stream sequence number) — so two runs of
+// the same protocol see identical delays and remain reproducible.
+type LinkModel struct {
+	// Latency is the base one-way propagation delay of every link without a
+	// PerLink override.
+	Latency time.Duration
+	// PerLink overrides the base latency of individual directed links —
+	// skewed links let a benchmark force peer-completion order to invert.
+	PerLink map[Link]time.Duration
+	// BytesPerSecond is the link bandwidth applied to payload bytes;
+	// 0 means infinite.
+	BytesPerSecond float64
+	// Jitter is the exclusive upper bound of the per-message jitter term;
+	// 0 disables jitter.
+	Jitter time.Duration
+	// Seed seeds the deterministic jitter stream.
+	Seed uint64
+}
+
+// baseOf returns the base latency of one directed link.
+func (m *LinkModel) baseOf(src, dst int) time.Duration {
+	if d, ok := m.PerLink[Link{Src: src, Dst: dst}]; ok {
+		return d
+	}
+	return m.Latency
+}
+
+// delayOf computes the full modeled delay of the seq'th message on a
+// directed (src, dst, tag) stream carrying payloadBytes.
+func (m *LinkModel) delayOf(src, dst, tag int, payloadBytes int, seq uint64) time.Duration {
+	d := m.baseOf(src, dst)
+	if m.BytesPerSecond > 0 {
+		d += time.Duration(float64(payloadBytes) / m.BytesPerSecond * float64(time.Second))
+	}
+	if m.Jitter > 0 {
+		d += time.Duration(jitterHash(m.Seed, src, dst, tag, seq) % uint64(m.Jitter))
+	}
+	return d
+}
+
+// jitterHash is a splitmix64-style mix of the per-message identity, giving
+// every message an independent, reproducible jitter draw.
+func jitterHash(seed uint64, src, dst, tag int, seq uint64) uint64 {
+	z := seed ^ uint64(src)<<48 ^ uint64(dst)<<32 ^ uint64(uint32(tag))<<16 ^ seq
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// WithLinkModel wraps every endpoint of a co-located group so each payload
+// message becomes *consumable* only after the model's per-message delay,
+// counted from its send. The receive path first performs the backend
 // receive, then parks until sendTime+delay — so time a rank spends computing
-// while a message is in flight counts against the link latency, exactly as
-// on real hardware. That makes the decorator the honest way to measure
+// while a message is in flight counts against the link delay, exactly as on
+// real hardware. That makes the decorator the honest way to measure
 // communication/computation overlap on machines whose loopback latency is
 // negligible (or where co-scheduled ranks serialize on the CPU, hiding
 // nothing): the injected delay sleeps instead of burning cycles, so overlap
 // can genuinely reclaim it.
 //
+// Completion notifications (IRecvF32Notify) are delayed the same way: the
+// token is forwarded only once the message is due, so an arrival-order
+// drain over a skewed model observes the modeled completion order, not the
+// backend's.
+//
 // Payload bytes, message counts, and delivered bits are untouched — training
-// over a latency-wrapped group is bit-identical to the bare group. Control
-// traffic (Barrier) is not delayed. The decorator needs a shared clock
-// ledger between sender and receiver, so it applies only to groups whose
-// endpoints live in one process (the channel cluster or a loopback TCP
-// mesh); it is a measurement and simulation tool, not a deployment feature.
-func WithLatency(g *Group, delay time.Duration) *Group {
-	s := &linkState{delay: delay, due: map[linkKey][]time.Time{}}
+// over a wrapped group is bit-identical to the bare group. Control traffic
+// (Barrier) is not delayed. The decorator needs a shared clock ledger
+// between sender and receiver, so it applies only to groups whose endpoints
+// live in one process (the channel cluster or a loopback TCP mesh); it is a
+// measurement and simulation tool, not a deployment feature.
+func WithLinkModel(g *Group, m LinkModel) *Group {
+	s := &linkState{model: m, due: map[linkKey]*stampQueue{}, prepaid: map[linkKey]int{}}
 	ts := make([]Transport, g.Size())
 	for i := range ts {
 		ts[i] = &latencyTransport{Transport: g.workers[i].t, s: s}
@@ -35,41 +109,117 @@ func WithLatency(g *Group, delay time.Duration) *Group {
 // linkKey identifies one directed (src, dst, tag) message stream.
 type linkKey struct{ src, dst, tag int }
 
-// linkState is the shared send-timestamp ledger of one wrapped group.
-type linkState struct {
+// stamp is one in-flight message's send time and modeled delay.
+type stamp struct {
+	at    time.Time
 	delay time.Duration
-	mu    sync.Mutex
-	due   map[linkKey][]time.Time
 }
 
-// stamp records a message's send time; streams are FIFO per key, matching
-// the transport ordering contract.
-func (s *linkState) stamp(src, dst, tag int) {
-	s.mu.Lock()
-	k := linkKey{src, dst, tag}
-	s.due[k] = append(s.due[k], time.Now())
-	s.mu.Unlock()
+// stampQueue is a FIFO of in-flight stamps backed by a ring buffer, so the
+// ledger's memory stays bounded by the maximum number of simultaneously
+// in-flight messages per stream instead of growing by one slot per message
+// forever (the bug the old pop-by-reslice ledger had). seq counts every
+// message ever pushed, feeding the deterministic jitter stream.
+type stampQueue struct {
+	buf  []stamp
+	head int
+	n    int
+	seq  uint64
 }
 
-// arrive pops the oldest send time for the key and parks until it is
-// delay old. The pop happens after the backend receive completed, so the
-// stamp is guaranteed to be there (stamping happens before the backend
-// send, which happens before delivery).
-func (s *linkState) arrive(src, dst, tag int) {
-	s.mu.Lock()
-	k := linkKey{src, dst, tag}
-	q := s.due[k]
-	var ts time.Time
-	if len(q) > 0 {
-		ts = q[0]
-		s.due[k] = q[1:]
+func (q *stampQueue) push(s stamp) {
+	if q.n == len(q.buf) {
+		grown := make([]stamp, max(4, 2*len(q.buf)))
+		for i := 0; i < q.n; i++ {
+			grown[i] = q.buf[(q.head+i)%len(q.buf)]
+		}
+		q.buf, q.head = grown, 0
 	}
+	q.buf[(q.head+q.n)%len(q.buf)] = s
+	q.n++
+}
+
+func (q *stampQueue) pop() (stamp, bool) {
+	if q.n == 0 {
+		return stamp{}, false
+	}
+	s := q.buf[q.head]
+	q.buf[q.head] = stamp{}
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return s, true
+}
+
+// linkState is the shared send-stamp ledger of one wrapped group.
+type linkState struct {
+	model LinkModel
+	mu    sync.Mutex
+	due   map[linkKey]*stampQueue
+	// prepaid counts messages whose delay was already served by a
+	// notification forwarder (see latencyTransport.IRecvF32Notify); the
+	// matching receive must not pop a stamp or sleep again.
+	prepaid map[linkKey]int
+}
+
+func (s *linkState) queue(k linkKey) *stampQueue {
+	q := s.due[k]
+	if q == nil {
+		q = &stampQueue{}
+		s.due[k] = q
+	}
+	return q
+}
+
+// stampMsg records a message's send time and modeled delay; streams are FIFO
+// per key, matching the transport ordering contract.
+func (s *linkState) stampMsg(src, dst, tag, payloadBytes int) {
+	s.mu.Lock()
+	q := s.queue(linkKey{src, dst, tag})
+	delay := s.model.delayOf(src, dst, tag, payloadBytes, q.seq)
+	q.seq++
+	q.push(stamp{at: time.Now(), delay: delay})
 	s.mu.Unlock()
-	if !ts.IsZero() {
-		if wait := time.Until(ts.Add(s.delay)); wait > 0 {
+}
+
+// arrive pops the oldest stamp for the key and parks until the message is
+// due — unless a notification forwarder already served the delay (prepaid).
+// The pop happens after the backend receive completed, so the stamp is
+// guaranteed to be there (stamping happens before the backend send, which
+// happens before delivery).
+func (s *linkState) arrive(src, dst, tag int) {
+	k := linkKey{src, dst, tag}
+	s.mu.Lock()
+	if s.prepaid[k] > 0 {
+		s.prepaid[k]--
+		s.mu.Unlock()
+		return
+	}
+	st, ok := s.queue(k).pop()
+	s.mu.Unlock()
+	if ok {
+		if wait := time.Until(st.at.Add(st.delay)); wait > 0 {
 			time.Sleep(wait)
 		}
 	}
+}
+
+// prepay pops the oldest stamp for the key, parks until the message is due,
+// and marks the delay as served so the matching receive returns immediately.
+// Called by the notification forwarder goroutine before the token is passed
+// on.
+func (s *linkState) prepay(src, dst, tag int) {
+	k := linkKey{src, dst, tag}
+	s.mu.Lock()
+	st, ok := s.queue(k).pop()
+	s.mu.Unlock()
+	if ok {
+		if wait := time.Until(st.at.Add(st.delay)); wait > 0 {
+			time.Sleep(wait)
+		}
+	}
+	s.mu.Lock()
+	s.prepaid[k]++
+	s.mu.Unlock()
 }
 
 // latencyTransport decorates one endpoint; everything not overridden
@@ -80,17 +230,17 @@ type latencyTransport struct {
 }
 
 func (t *latencyTransport) SendF32(dst, tag int, data []float32) {
-	t.s.stamp(t.Rank(), dst, tag)
+	t.s.stampMsg(t.Rank(), dst, tag, 4*len(data))
 	t.Transport.SendF32(dst, tag, data)
 }
 
 func (t *latencyTransport) SendI32(dst, tag int, data []int32) {
-	t.s.stamp(t.Rank(), dst, tag)
+	t.s.stampMsg(t.Rank(), dst, tag, 4*len(data))
 	t.Transport.SendI32(dst, tag, data)
 }
 
 func (t *latencyTransport) ISendF32(dst, tag int, data []float32) PendingSend {
-	t.s.stamp(t.Rank(), dst, tag)
+	t.s.stampMsg(t.Rank(), dst, tag, 4*len(data))
 	return t.Transport.ISendF32(dst, tag, data)
 }
 
@@ -109,5 +259,23 @@ func (t *latencyTransport) RecvI32(src, tag int) []int32 {
 // IRecvF32 re-points the handle at the wrapper so Wait applies the link
 // delay.
 func (t *latencyTransport) IRecvF32(src, tag int) PendingRecvF32 {
+	return PendingRecvF32{t: t, src: src, tag: tag}
+}
+
+// IRecvF32Notify interposes a forwarder between the backend's notification
+// and the caller's channel: the forwarder waits for the backend arrival,
+// serves the modeled delay (prepaying it so the matching receive does not
+// sleep again), and only then passes the token on. An arrival-order drain
+// therefore observes the modeled completion order — a skewed LinkModel can
+// invert it relative to the backend's delivery order.
+func (t *latencyTransport) IRecvF32Notify(src, tag int, notify chan<- int, token int) PendingRecvF32 {
+	inner := make(chan int, 1)
+	t.Transport.IRecvF32Notify(src, tag, inner, 0)
+	rank := t.Rank()
+	go func() {
+		<-inner
+		t.s.prepay(src, rank, tag)
+		notify <- token
+	}()
 	return PendingRecvF32{t: t, src: src, tag: tag}
 }

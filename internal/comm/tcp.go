@@ -128,6 +128,10 @@ type TCPTransport struct {
 	recvBufs bufPool[byte]
 	f32Bufs  bufPool[float32]
 
+	// nreg matches consumable f32 frames (stamped by the demux goroutines)
+	// against notify-posted receives; see IRecvF32Notify.
+	nreg notifyReg
+
 	closed atomic.Bool
 	// closeCh is closed by Close so demux goroutines blocked on a full
 	// per-(peer,tag) queue can exit: a closing endpoint will never drain
@@ -410,6 +414,7 @@ func (t *TCPTransport) fail(err error) {
 	t.failOn.Do(func() {
 		t.failErr = err
 		close(t.failCh)
+		t.nreg.flush()
 		for _, p := range t.peers {
 			if p != nil {
 				p.conn.Close()
@@ -479,7 +484,14 @@ func (t *TCPTransport) readLoop(p *tcpPeer) {
 		if fr.dtype == dtypeCtrl && fr.tag == tagBye {
 			t.recvBufs.put(fr.payload)
 			close(p.gone)
+			t.nreg.flushSrc(p.rank)
 			return
+		}
+		if fr.dtype == dtypeF32 {
+			// Stamp before enqueue: a notified consumer's dequeue below can
+			// block only until this push lands (and the consumer is what
+			// drains a backpressured queue).
+			t.nreg.arrived(p.rank, fr.tag)
 		}
 		q := p.queue(fr.tag, t.queueCap)
 		select {
@@ -630,6 +642,17 @@ func (t *TCPTransport) ISendF32(dst, tag int, data []float32) PendingSend {
 // socket in the background, so the frame makes progress while the caller
 // computes and Wait only dequeues it.
 func (t *TCPTransport) IRecvF32(src, tag int) PendingRecvF32 {
+	return PendingRecvF32{t: t, src: src, tag: tag}
+}
+
+// IRecvF32Notify posts a nonblocking receive with a completion
+// notification; see Transport.IRecvF32Notify. The demux goroutines stamp
+// the ledger as they route f32 frames, so the token fires when the frame is
+// (about to be) queued for consumption.
+func (t *TCPTransport) IRecvF32Notify(src, tag int, notify chan<- int, token int) PendingRecvF32 {
+	checkAppTag(tag)
+	t.peer(src) // validate src early, like recv would
+	t.nreg.register(src, tag, notify, token)
 	return PendingRecvF32{t: t, src: src, tag: tag}
 }
 

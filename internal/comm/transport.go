@@ -52,6 +52,23 @@ type Transport interface {
 	// sockets — so the payload can arrive while the caller computes; Wait
 	// only dequeues it (or blocks until arrival). Wait exactly once.
 	IRecvF32(src, tag int) PendingRecvF32
+	// IRecvF32Notify posts a nonblocking receive like IRecvF32 and
+	// additionally arranges for token to be sent on notify exactly once when
+	// the matching message becomes consumable — the select-any primitive: a
+	// caller with several posted receives blocks on one channel and consumes
+	// whichever peer's payload lands first. The handle's Wait then returns
+	// (almost) immediately.
+	//
+	// notify must have spare capacity for every outstanding notification
+	// posted on it (the transport sends without selecting). If the transport
+	// fails or the peer leaves before the message arrives, the token is
+	// still delivered and the matching Wait panics with the descriptive
+	// error, so a drain never deadlocks on a notification.
+	//
+	// Within a transport's lifetime a given (src, tag) stream must be
+	// consumed either always through notify-posted receives or always
+	// through plain ones; mixing strands arrival credits (see notifyReg).
+	IRecvF32Notify(src, tag int, notify chan<- int, token int) PendingRecvF32
 	// RecycleF32 hands a slice previously returned by RecvF32 (or a recv
 	// handle's Wait) back to the transport for reuse. Optional, and a no-op
 	// on the channel backend — whose received slices belong to the sender —
@@ -164,6 +181,12 @@ func (w *Worker) ISendF32(dst, tag int, data []float32) PendingSend {
 
 // IRecvF32 posts a nonblocking receive; see Transport.IRecvF32.
 func (w *Worker) IRecvF32(src, tag int) PendingRecvF32 { return w.t.IRecvF32(src, tag) }
+
+// IRecvF32Notify posts a nonblocking receive with a completion
+// notification; see Transport.IRecvF32Notify.
+func (w *Worker) IRecvF32Notify(src, tag int, notify chan<- int, token int) PendingRecvF32 {
+	return w.t.IRecvF32Notify(src, tag, notify, token)
+}
 
 // RecycleF32 returns a received payload to the transport's buffer pool; see
 // Transport.RecycleF32.

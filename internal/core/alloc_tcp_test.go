@@ -18,11 +18,11 @@ func TestTCPTrainEpochSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; alloc budgets only hold without -race")
 	}
-	for _, overlap := range []bool{false, true} {
+	for _, sched := range []Schedule{ScheduleSerialized, ScheduleOverlapRank, ScheduleOverlap} {
 		ds := testDataset(t, 55)
 		const k = 2
 		topo := testTopology(t, ds, k)
-		cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 3, Overlap: overlap}
+		cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 3, Schedule: sched}
 		tr, err := NewParallelTrainerOver(ds, topo, cfg, tcpLoopbackGroup(t, k))
 		if err != nil {
 			t.Fatal(err)
@@ -43,9 +43,9 @@ func TestTCPTrainEpochSteadyStateAllocs(t *testing.T) {
 			tr.TrainEpoch()
 		})
 		if allocs > budget {
-			t.Errorf("overlap=%v: steady-state TCP TrainEpoch allocates %.0f objects/epoch, budget %.0f",
-				overlap, allocs, budget)
+			t.Errorf("%s: steady-state TCP TrainEpoch allocates %.0f objects/epoch, budget %.0f",
+				sched, allocs, budget)
 		}
-		t.Logf("overlap=%v: steady-state TCP allocs/epoch = %.0f", overlap, allocs)
+		t.Logf("%s: steady-state TCP allocs/epoch = %.0f", sched, allocs)
 	}
 }

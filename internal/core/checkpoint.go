@@ -6,13 +6,35 @@ import (
 	"fmt"
 	"io"
 	"os"
+
+	"repro/internal/optim"
+	"repro/internal/tensor"
 )
 
-// Checkpoint format: magic, config header, then each parameter matrix as
-// (rows, cols, float32 data), little-endian. The architecture is stored so a
-// mismatched load fails loudly instead of silently misassigning weights.
+// Checkpoint formats, both little-endian and versioned by magic:
+//
+//   - Model checkpoint ("BNSC", SaveCheckpoint/LoadCheckpoint): config
+//     header, then each parameter matrix as (rows, cols, float32 data).
+//     Weights only — the right artifact for inference and evaluation.
+//   - Trainer checkpoint ("BNST" + format version,
+//     SaveTrainerCheckpoint/LoadTrainerCheckpoint): the model section plus
+//     everything a bit-exact resume needs — Adam's step count and moment
+//     matrices, the boundary-sampling RNG position, every dropout layer's
+//     mask RNG position, and the epoch counter. A weights-only checkpoint
+//     silently resets the optimizer moments and the RNG streams, so a
+//     resumed run diverges from an uninterrupted one; the trainer format
+//     exists so that train(N) ≡ train(k) + save + load + train(N−k), bit
+//     for bit (the resume-equivalence test pins this).
+//
+// The architecture and every matrix shape are stored so a mismatched load
+// fails loudly instead of silently misassigning state.
 
-const ckptMagic = uint32(0x424E5343) // "BNSC"
+const (
+	ckptMagic        = uint32(0x424E5343) // "BNSC": model weights only
+	ckptTrainerMagic = uint32(0x424E5354) // "BNST": full resumable trainer state
+	ckptTrainerVer   = uint32(1)
+	optKindAdam      = uint32(1)
+)
 
 // SaveCheckpoint writes the model's configuration and parameters to w.
 func SaveCheckpoint(w io.Writer, m *Model) error {
@@ -20,6 +42,32 @@ func SaveCheckpoint(w io.Writer, m *Model) error {
 	if err := binary.Write(bw, binary.LittleEndian, ckptMagic); err != nil {
 		return fmt.Errorf("core: checkpoint magic: %w", err)
 	}
+	if err := writeModelSection(bw, m); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint reads parameters written by SaveCheckpoint into m, which
+// must have the same architecture and dimensions.
+func LoadCheckpoint(r io.Reader, m *Model) error {
+	br := bufio.NewReader(r)
+	var magic uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("core: checkpoint magic: %w", err)
+	}
+	if magic == ckptTrainerMagic {
+		return fmt.Errorf("core: this is a trainer checkpoint; load it with LoadTrainerCheckpoint")
+	}
+	if magic != ckptMagic {
+		return fmt.Errorf("core: bad checkpoint magic %#x", magic)
+	}
+	return readModelSection(br, m)
+}
+
+// writeModelSection writes the config header, arch string, and parameter
+// matrices — the section both checkpoint formats share.
+func writeModelSection(bw *bufio.Writer, m *Model) error {
 	header := []int64{
 		int64(len(m.Config.Arch)),
 		int64(m.Config.Layers),
@@ -37,34 +85,27 @@ func SaveCheckpoint(w io.Writer, m *Model) error {
 	if err := binary.Write(bw, binary.LittleEndian, int64(len(params))); err != nil {
 		return err
 	}
-	for i, p := range params {
-		if err := binary.Write(bw, binary.LittleEndian, int64(p.Rows)); err != nil {
-			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
-		}
-		if err := binary.Write(bw, binary.LittleEndian, int64(p.Cols)); err != nil {
-			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
-		}
-		if err := binary.Write(bw, binary.LittleEndian, p.Data); err != nil {
-			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
-		}
-	}
-	return bw.Flush()
+	return writeMats(bw, params, "param")
 }
 
-// LoadCheckpoint reads parameters written by SaveCheckpoint into m, which
-// must have the same architecture and dimensions.
-func LoadCheckpoint(r io.Reader, m *Model) error {
-	br := bufio.NewReader(r)
-	var magic uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
-		return fmt.Errorf("core: checkpoint magic: %w", err)
+// readModelSection validates the config header against m and reads the
+// parameter matrices into it.
+func readModelSection(br *bufio.Reader, m *Model) error {
+	if err := readModelHeader(br, m); err != nil {
+		return err
 	}
-	if magic != ckptMagic {
-		return fmt.Errorf("core: bad checkpoint magic %#x", magic)
-	}
+	return readMats(br, m.Params(), "param")
+}
+
+// readModelHeader validates the config header and parameter count against m
+// without touching any weights.
+func readModelHeader(br *bufio.Reader, m *Model) error {
 	header := make([]int64, 5)
 	if err := binary.Read(br, binary.LittleEndian, header); err != nil {
 		return fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	if header[0] < 0 || header[0] > 64 {
+		return fmt.Errorf("core: checkpoint arch name length %d", header[0])
 	}
 	archBytes := make([]byte, header[0])
 	if _, err := io.ReadFull(br, archBytes); err != nil {
@@ -80,26 +121,226 @@ func LoadCheckpoint(r io.Reader, m *Model) error {
 	if err := binary.Read(br, binary.LittleEndian, &nParams); err != nil {
 		return err
 	}
-	params := m.Params()
-	if int(nParams) != len(params) {
-		return fmt.Errorf("core: checkpoint has %d params, model has %d", nParams, len(params))
+	if int(nParams) != len(m.Params()) {
+		return fmt.Errorf("core: checkpoint has %d params, model has %d", nParams, len(m.Params()))
 	}
-	for i, p := range params {
-		var rows, cols int64
-		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
-			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
+	return nil
+}
+
+// writeMats writes each matrix as (rows, cols, data).
+func writeMats(bw *bufio.Writer, mats []*tensor.Matrix, what string) error {
+	for i, p := range mats {
+		if err := binary.Write(bw, binary.LittleEndian, int64(p.Rows)); err != nil {
+			return fmt.Errorf("core: checkpoint %s %d: %w", what, i, err)
 		}
-		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
-			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
+		if err := binary.Write(bw, binary.LittleEndian, int64(p.Cols)); err != nil {
+			return fmt.Errorf("core: checkpoint %s %d: %w", what, i, err)
 		}
-		if int(rows) != p.Rows || int(cols) != p.Cols {
-			return fmt.Errorf("core: checkpoint param %d is %dx%d, model expects %dx%d", i, rows, cols, p.Rows, p.Cols)
-		}
-		if err := binary.Read(br, binary.LittleEndian, p.Data); err != nil {
-			return fmt.Errorf("core: checkpoint param %d: %w", i, err)
+		if err := binary.Write(bw, binary.LittleEndian, p.Data); err != nil {
+			return fmt.Errorf("core: checkpoint %s %d: %w", what, i, err)
 		}
 	}
 	return nil
+}
+
+// readMats reads matrices written by writeMats into mats, validating shapes.
+func readMats(br *bufio.Reader, mats []*tensor.Matrix, what string) error {
+	for i, p := range mats {
+		var rows, cols int64
+		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
+			return fmt.Errorf("core: checkpoint %s %d: %w", what, i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &cols); err != nil {
+			return fmt.Errorf("core: checkpoint %s %d: %w", what, i, err)
+		}
+		if int(rows) != p.Rows || int(cols) != p.Cols {
+			return fmt.Errorf("core: checkpoint %s %d is %dx%d, model expects %dx%d", what, i, rows, cols, p.Rows, p.Cols)
+		}
+		if err := binary.Read(br, binary.LittleEndian, p.Data); err != nil {
+			return fmt.Errorf("core: checkpoint %s %d: %w", what, i, err)
+		}
+	}
+	return nil
+}
+
+// SaveTrainerCheckpoint writes rank rt's full resumable training state: the
+// model section plus the optimizer moments and step count, the
+// boundary-sampling RNG position, each dropout layer's mask RNG position,
+// and the completed-epoch counter. In a k-rank run every rank saves its own
+// checkpoint (states differ per rank: sampling streams are rank-seeded and
+// dropout streams advance with local row counts).
+func SaveTrainerCheckpoint(w io.Writer, rt *RankTrainer) error {
+	adam, ok := rt.opt.(*optim.Adam)
+	if !ok {
+		return fmt.Errorf("core: trainer checkpoint supports Adam, trainer uses %T", rt.opt)
+	}
+	bw := bufio.NewWriter(w)
+	if err := binary.Write(bw, binary.LittleEndian, ckptTrainerMagic); err != nil {
+		return fmt.Errorf("core: trainer checkpoint magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, ckptTrainerVer); err != nil {
+		return fmt.Errorf("core: trainer checkpoint version: %w", err)
+	}
+	if err := writeModelSection(bw, rt.Model); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(rt.epoch)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, rt.rng.State()); err != nil {
+		return err
+	}
+	drops := rt.Model.Dropouts
+	if err := binary.Write(bw, binary.LittleEndian, int64(len(drops))); err != nil {
+		return err
+	}
+	for _, d := range drops {
+		if err := binary.Write(bw, binary.LittleEndian, d.RNGState()); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, optKindAdam); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, int64(adam.StepCount())); err != nil {
+		return err
+	}
+	m, v := adam.Moments(rt.Model.Params())
+	if err := writeMats(bw, m, "adam.m"); err != nil {
+		return err
+	}
+	if err := writeMats(bw, v, "adam.v"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadTrainerCheckpoint restores state written by SaveTrainerCheckpoint
+// into rt, which must have the same architecture, dimensions, and
+// optimizer kind. After a successful load the trainer continues exactly
+// where the saved one stopped: train(N) ≡ train(k) + save/load + train(N−k).
+func LoadTrainerCheckpoint(r io.Reader, rt *RankTrainer) error {
+	adam, ok := rt.opt.(*optim.Adam)
+	if !ok {
+		return fmt.Errorf("core: trainer checkpoint supports Adam, trainer uses %T", rt.opt)
+	}
+	br := bufio.NewReader(r)
+	var magic, ver uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("core: trainer checkpoint magic: %w", err)
+	}
+	if magic == ckptMagic {
+		return fmt.Errorf("core: this is a weights-only checkpoint; it cannot resume training (no optimizer or RNG state) — load it with LoadCheckpoint")
+	}
+	if magic != ckptTrainerMagic {
+		return fmt.Errorf("core: bad trainer checkpoint magic %#x", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+		return fmt.Errorf("core: trainer checkpoint version: %w", err)
+	}
+	if ver != ckptTrainerVer {
+		return fmt.Errorf("core: trainer checkpoint version %d, this build reads %d", ver, ckptTrainerVer)
+	}
+	// Stage every matrix read so a truncated or corrupt file cannot leave a
+	// half-restored trainer: the live weights and moments are only written
+	// after the whole stream has been read and validated.
+	params := rt.Model.Params()
+	if err := readModelHeader(br, rt.Model); err != nil {
+		return err
+	}
+	stageParams := stageLike(params)
+	if err := readMats(br, stageParams, "param"); err != nil {
+		return err
+	}
+	var epoch int64
+	if err := binary.Read(br, binary.LittleEndian, &epoch); err != nil {
+		return err
+	}
+	var rngState uint64
+	if err := binary.Read(br, binary.LittleEndian, &rngState); err != nil {
+		return err
+	}
+	var nDrops int64
+	if err := binary.Read(br, binary.LittleEndian, &nDrops); err != nil {
+		return err
+	}
+	drops := rt.Model.Dropouts
+	if int(nDrops) != len(drops) {
+		return fmt.Errorf("core: trainer checkpoint has %d dropout streams, model has %d", nDrops, len(drops))
+	}
+	dropStates := make([]uint64, nDrops)
+	if err := binary.Read(br, binary.LittleEndian, dropStates); err != nil {
+		return err
+	}
+	var optKind uint32
+	if err := binary.Read(br, binary.LittleEndian, &optKind); err != nil {
+		return err
+	}
+	if optKind != optKindAdam {
+		return fmt.Errorf("core: trainer checkpoint optimizer kind %d, trainer uses Adam (%d)", optKind, optKindAdam)
+	}
+	var stepCount int64
+	if err := binary.Read(br, binary.LittleEndian, &stepCount); err != nil {
+		return err
+	}
+	stageM := stageLike(params)
+	stageV := stageLike(params)
+	if err := readMats(br, stageM, "adam.m"); err != nil {
+		return err
+	}
+	if err := readMats(br, stageV, "adam.v"); err != nil {
+		return err
+	}
+
+	// Every read succeeded; commit the whole state at once.
+	for i, p := range params {
+		copy(p.Data, stageParams[i].Data)
+	}
+	m, v := adam.Moments(params)
+	for i := range m {
+		copy(m[i].Data, stageM[i].Data)
+		copy(v[i].Data, stageV[i].Data)
+	}
+	rt.epoch = int(epoch)
+	rt.rng.SetState(rngState)
+	for i, d := range drops {
+		d.SetRNGState(dropStates[i])
+	}
+	adam.SetStepCount(int(stepCount))
+	return nil
+}
+
+// stageLike returns scratch matrices shaped like mats, used to stage
+// checkpoint reads before committing them to live state.
+func stageLike(mats []*tensor.Matrix) []*tensor.Matrix {
+	out := make([]*tensor.Matrix, len(mats))
+	for i, p := range mats {
+		out[i] = tensor.New(p.Rows, p.Cols)
+	}
+	return out
+}
+
+// SaveTrainerCheckpointFile writes a trainer checkpoint to path.
+func SaveTrainerCheckpointFile(path string, rt *RankTrainer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := SaveTrainerCheckpoint(f, rt); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTrainerCheckpointFile loads a trainer checkpoint from path into rt.
+func LoadTrainerCheckpointFile(path string, rt *RankTrainer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return LoadTrainerCheckpoint(f, rt)
 }
 
 // SaveCheckpointFile writes a checkpoint to path.

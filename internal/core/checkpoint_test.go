@@ -120,3 +120,190 @@ func TestParamVectorLength(t *testing.T) {
 		t.Fatalf("vector length %d, want %d", len(v), want)
 	}
 }
+
+// TestTrainerCheckpointResumeEquivalence is the checkpoint satellite's
+// acceptance test: training N epochs straight through must be bit-identical
+// to training k epochs, saving every rank's full trainer state, loading it
+// into freshly constructed trainers, and training the remaining N−k — same
+// per-epoch losses, same final weights on every rank. The config exercises
+// everything the trainer checkpoint has to carry: dropout on (mask RNG
+// streams), p<1 (boundary-sampling RNG), and enough epochs that Adam's
+// moments and bias-correction step are far from their initial state.
+func TestTrainerCheckpointResumeEquivalence(t *testing.T) {
+	ds := testDataset(t, 77)
+	const k = 2
+	const total, pre = 6, 3
+	topo := testTopology(t, ds, k)
+	mc := ModelConfig{Arch: ArchSAGE, Layers: 2, Hidden: 16, Dropout: 0.3, LR: 0.01, Seed: 5}
+	cfg := ParallelConfig{Model: mc, P: 0.5, SampleSeed: 11}
+
+	// Uninterrupted reference.
+	ref, err := NewParallelTrainer(ds, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refLoss := make([]float64, total)
+	for e := 0; e < total; e++ {
+		refLoss[e] = ref.TrainEpoch().Loss
+	}
+
+	// Interrupted run: k epochs, save every rank, resume into fresh
+	// trainers (fresh workspaces, fresh transports — only the checkpoint
+	// carries state across).
+	interrupted, err := NewParallelTrainer(ds, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := 0; e < pre; e++ {
+		if got := interrupted.TrainEpoch().Loss; got != refLoss[e] {
+			t.Fatalf("pre-save epoch %d: loss %.17g != reference %.17g", e, got, refLoss[e])
+		}
+	}
+	bufs := make([]bytes.Buffer, k)
+	for r := 0; r < k; r++ {
+		if err := SaveTrainerCheckpoint(&bufs[r], interrupted.Ranks[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resumed, err := NewParallelTrainer(ds, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < k; r++ {
+		if err := LoadTrainerCheckpoint(&bufs[r], resumed.Ranks[r]); err != nil {
+			t.Fatal(err)
+		}
+		if got := resumed.Ranks[r].Epoch(); got != pre {
+			t.Fatalf("rank %d resumed at epoch %d, want %d", r, got, pre)
+		}
+	}
+	for e := pre; e < total; e++ {
+		if got := resumed.TrainEpoch().Loss; got != refLoss[e] {
+			t.Fatalf("resumed epoch %d: loss %.17g != reference %.17g", e, got, refLoss[e])
+		}
+	}
+	for r := 0; r < k; r++ {
+		if d := MaxParamDiff(ref.Models[r], resumed.Models[r]); d != 0 {
+			t.Fatalf("rank %d: resumed weights diverged by %v", r, d)
+		}
+	}
+
+	// Control: restoring only the weights into a *fresh* trainer — zeroed
+	// Adam moments, bias-correction step back at 0, sampling and dropout
+	// RNG streams back at their seeds — is what the old weights-only
+	// checkpoint could do, and it must NOT reproduce the reference; if it
+	// did, the extra state the trainer format carries would be dead weight
+	// and this test vacuous.
+	weightsOnly, err := NewParallelTrainer(ds, topo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < k; r++ {
+		var wb bytes.Buffer
+		if err := SaveCheckpoint(&wb, interrupted.Models[r]); err != nil {
+			t.Fatal(err)
+		}
+		if err := LoadCheckpoint(bytes.NewReader(wb.Bytes()), weightsOnly.Models[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	diverged := false
+	for e := pre; e < total; e++ {
+		if weightsOnly.TrainEpoch().Loss != refLoss[e] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("weights-only restore reproduced the reference run; the resume-equivalence test is not exercising optimizer/RNG state")
+	}
+}
+
+// TestTrainerCheckpointRejects pins the failure modes: weights-only files,
+// trainer files fed to the model loader, wrong architecture, and garbage.
+func TestTrainerCheckpointRejects(t *testing.T) {
+	ds := testDataset(t, 78)
+	topo := testTopology(t, ds, 2)
+	cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 3}
+	rt, err := NewRankTrainer(ds, topo, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var trainerBuf bytes.Buffer
+	if err := SaveTrainerCheckpoint(&trainerBuf, rt); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadCheckpoint(bytes.NewReader(trainerBuf.Bytes()), rt.Model); err == nil {
+		t.Fatal("model loader must reject a trainer checkpoint")
+	}
+
+	var modelBuf bytes.Buffer
+	if err := SaveCheckpoint(&modelBuf, rt.Model); err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadTrainerCheckpoint(bytes.NewReader(modelBuf.Bytes()), rt); err == nil {
+		t.Fatal("trainer loader must reject a weights-only checkpoint")
+	}
+
+	gatCfg := cfg
+	gatCfg.Model = ModelConfig{Arch: ArchGAT, Layers: 2, Hidden: 16, LR: 0.01, Seed: 1}
+	gatRT, err := NewRankTrainer(ds, topo, gatCfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := LoadTrainerCheckpoint(bytes.NewReader(trainerBuf.Bytes()), gatRT); err == nil {
+		t.Fatal("trainer loader must reject an architecture mismatch")
+	}
+
+	if err := LoadTrainerCheckpoint(bytes.NewReader([]byte{1, 2, 3}), rt); err == nil {
+		t.Fatal("trainer loader must reject garbage")
+	}
+
+	// A truncated file must fail WITHOUT touching live state: every matrix
+	// read is staged, so a half-readable checkpoint cannot leave the
+	// trainer half-restored.
+	before := rt.Model.ParamVector()
+	rngBefore := rt.rng.State()
+	truncated := trainerBuf.Bytes()[:trainerBuf.Len()-7]
+	if err := LoadTrainerCheckpoint(bytes.NewReader(truncated), rt); err == nil {
+		t.Fatal("trainer loader must reject a truncated checkpoint")
+	}
+	after := rt.Model.ParamVector()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("truncated load mutated weight %d: %v -> %v", i, before[i], after[i])
+		}
+	}
+	if rt.rng.State() != rngBefore {
+		t.Fatal("truncated load mutated the sampler RNG state")
+	}
+}
+
+// TestTrainerCheckpointFileRoundTrip covers the file variants.
+func TestTrainerCheckpointFileRoundTrip(t *testing.T) {
+	ds := testDataset(t, 79)
+	topo := testTopology(t, ds, 2)
+	cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 3}
+	rt, err := NewRankTrainer(ds, topo, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/trainer.ckpt"
+	if err := SaveTrainerCheckpointFile(path, rt); err != nil {
+		t.Fatal(err)
+	}
+	rt2, err := NewRankTrainer(ds, topo, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2.rng.SetState(999)
+	if err := LoadTrainerCheckpointFile(path, rt2); err != nil {
+		t.Fatal(err)
+	}
+	if rt2.rng.State() != rt.rng.State() {
+		t.Fatal("file round trip lost the sampler RNG state")
+	}
+	if d := MaxParamDiff(rt.Model, rt2.Model); d != 0 {
+		t.Fatalf("file round trip changed weights by %v", d)
+	}
+}

@@ -74,6 +74,9 @@ type GraphLayer interface {
 	// ForwardPrep runs per-node precomputations for feature rows [r0, r1)
 	// (a no-op for SAGE; Wh and attention scores for GAT).
 	ForwardPrep(r0, r1 int)
+	// ForwardPrepRows is ForwardPrep for an explicit row list — the
+	// arrival-order drain preps one peer's halo slots as they land.
+	ForwardPrepRows(rows []int32)
 	// ForwardRows computes the listed output rows; each row of [0, nOut)
 	// must be covered exactly once per pass.
 	ForwardRows(rows []int32)

@@ -32,12 +32,12 @@ import (
 // in-process channel-backend run of the same configuration.
 
 const (
-	mpEnvRank    = "BNSGCN_MP_RANK"
-	mpEnvWorld   = "BNSGCN_MP_WORLD"
-	mpEnvAddr    = "BNSGCN_MP_ADDR"
-	mpEnvOverlap = "BNSGCN_MP_OVERLAP"
-	mpWorld      = 4
-	mpEpochs     = 3
+	mpEnvRank  = "BNSGCN_MP_RANK"
+	mpEnvWorld = "BNSGCN_MP_WORLD"
+	mpEnvAddr  = "BNSGCN_MP_ADDR"
+	mpEnvSched = "BNSGCN_MP_SCHED"
+	mpWorld    = 4
+	mpEpochs   = 3
 )
 
 func mpDataset(t testing.TB) (*datagen.Dataset, *Topology) {
@@ -62,8 +62,8 @@ func mpDataset(t testing.TB) (*datagen.Dataset, *Topology) {
 	return ds, topo
 }
 
-func mpConfig(overlap bool) ParallelConfig {
-	return ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 9, Overlap: overlap}
+func mpConfig(sched Schedule) ParallelConfig {
+	return ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 9, Schedule: sched}
 }
 
 func mpParamHash(m *Model) string {
@@ -85,7 +85,8 @@ func TestMultiProcessHelper(t *testing.T) {
 	world, _ := strconv.Atoi(os.Getenv(mpEnvWorld))
 
 	ds, topo := mpDataset(t)
-	rt, err := NewRankTrainer(ds, topo, mpConfig(os.Getenv(mpEnvOverlap) == "1"), rank)
+	schedNum, _ := strconv.Atoi(os.Getenv(mpEnvSched))
+	rt, err := NewRankTrainer(ds, topo, mpConfig(Schedule(schedNum)), rank)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,16 +115,19 @@ func TestMultiProcessHelper(t *testing.T) {
 
 // TestMultiProcessLoopback is the smoke test CI runs race-enabled: 4 ranks
 // as separate OS processes over real sockets must reproduce the in-process
-// channel backend bit for bit.
-func TestMultiProcessLoopback(t *testing.T) { mpRun(t, false) }
+// channel backend bit for bit (serialized schedule).
+func TestMultiProcessLoopback(t *testing.T) { mpRun(t, ScheduleSerialized) }
 
-// TestMultiProcessLoopbackOverlap runs the same smoke test with the
-// pipelined epoch schedule on in every rank process — the overlapped halo
-// exchange over real sockets must still reproduce the in-process overlapped
-// run bit for bit.
-func TestMultiProcessLoopbackOverlap(t *testing.T) { mpRun(t, true) }
+// TestMultiProcessLoopbackOverlap runs the same smoke test with the default
+// pipelined schedule in every rank process — the arrival-order halo drain
+// over real sockets must still reproduce the in-process run bit for bit.
+func TestMultiProcessLoopbackOverlap(t *testing.T) { mpRun(t, ScheduleOverlap) }
 
-func mpRun(t *testing.T, overlap bool) {
+// TestMultiProcessLoopbackOverlapRank covers the rank-order pipelined drain
+// across processes.
+func TestMultiProcessLoopbackOverlapRank(t *testing.T) { mpRun(t, ScheduleOverlapRank) }
+
+func mpRun(t *testing.T, sched Schedule) {
 	if os.Getenv(mpEnvRank) != "" {
 		t.Skip("already inside a helper process")
 	}
@@ -147,15 +151,11 @@ func mpRun(t *testing.T, overlap bool) {
 	outs := make([]*bytes.Buffer, mpWorld)
 	for r := 0; r < mpWorld; r++ {
 		cmd := exec.CommandContext(ctx, exe, "-test.run=TestMultiProcessHelper$", "-test.v")
-		ov := "0"
-		if overlap {
-			ov = "1"
-		}
 		cmd.Env = append(os.Environ(),
 			fmt.Sprintf("%s=%d", mpEnvRank, r),
 			fmt.Sprintf("%s=%d", mpEnvWorld, mpWorld),
 			fmt.Sprintf("%s=%s", mpEnvAddr, addr),
-			fmt.Sprintf("%s=%s", mpEnvOverlap, ov),
+			fmt.Sprintf("%s=%d", mpEnvSched, int(sched)),
 		)
 		outs[r] = &bytes.Buffer{}
 		cmd.Stdout = outs[r]
@@ -206,7 +206,7 @@ func mpRun(t *testing.T, overlap bool) {
 
 	// Reference run: same configuration, in-process channel backend.
 	ds, topo := mpDataset(t)
-	ref, err := NewParallelTrainer(ds, topo, mpConfig(overlap))
+	ref, err := NewParallelTrainer(ds, topo, mpConfig(sched))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,27 +2,30 @@ package core
 
 import (
 	"testing"
+	"time"
 
 	"repro/internal/comm"
 )
 
 // TestOverlapBitIdentical is the pipelined engine's equivalence proof: the
-// same seeded dataset trained with the overlapped schedule must produce,
-// epoch for epoch, bit-identical losses, bit-identical weights on every
-// rank, and identical per-rank payload byte/message counts as the serialized
-// schedule — over both transports, for k ∈ {2, 4}, for both architectures,
-// with dropout on (the mask RNG stream order is part of the contract) and
-// p < 1 (so sampling, the row split, and the halo exchange all vary by
-// epoch).
+// same seeded dataset trained with the pipelined schedules — rank-order
+// drain and arrival-order drain — must produce, epoch for epoch,
+// bit-identical losses, bit-identical weights on every rank, and identical
+// per-rank payload byte/message counts as the serialized schedule — over
+// both transports, for k ∈ {2, 4}, for both architectures, with dropout on
+// (the mask RNG stream order is part of the contract) and p < 1 (so
+// sampling, the row split, and the halo exchange all vary by epoch).
 func TestOverlapBitIdentical(t *testing.T) {
 	for _, arch := range []Arch{ArchSAGE, ArchGAT} {
 		for _, k := range []int{2, 4} {
 			ds := testDataset(t, uint64(70+k))
 			topo := testTopology(t, ds, k)
 			mc := ModelConfig{Arch: arch, Layers: 2, Hidden: 16, Dropout: 0.3, LR: 0.01, Seed: 42}
-			base := ParallelConfig{Model: mc, P: 0.5, SampleSeed: 17}
-			over := base
-			over.Overlap = true
+			base := ParallelConfig{Model: mc, P: 0.5, SampleSeed: 17, Schedule: ScheduleSerialized}
+			rankOrder := base
+			rankOrder.Schedule = ScheduleOverlapRank
+			arrivalOrder := base
+			arrivalOrder.Schedule = ScheduleOverlap
 
 			type run struct {
 				name string
@@ -44,9 +47,11 @@ func TestOverlapBitIdentical(t *testing.T) {
 			}
 			runs := []run{
 				mk("chan/serialized", base, nil),
-				mk("chan/overlap", over, nil),
+				mk("chan/overlap-rank", rankOrder, nil),
+				mk("chan/overlap-arrival", arrivalOrder, nil),
 				mk("tcp/serialized", base, tcpLoopbackGroup(t, k)),
-				mk("tcp/overlap", over, tcpLoopbackGroup(t, k)),
+				mk("tcp/overlap-rank", rankOrder, tcpLoopbackGroup(t, k)),
+				mk("tcp/overlap-arrival", arrivalOrder, tcpLoopbackGroup(t, k)),
 			}
 
 			const epochs = 4
@@ -81,43 +86,116 @@ func TestOverlapBitIdentical(t *testing.T) {
 	}
 }
 
+// TestOverlapArrivalSkewedLinksBitIdentical forces peer completion order to
+// invert — a skewed comm.WithLinkModel makes the lowest-rank peer's payloads
+// the slowest, so the arrival-order drain consumes peers in descending rank
+// order while the rank-order drain head-of-line blocks — and requires the
+// results to stay bit-identical to the un-modeled serialized schedule for
+// both architectures and both pipelined drains. This is the determinism
+// argument under real out-of-order completion, not just under loopback's
+// near-FIFO timing.
+func TestOverlapArrivalSkewedLinksBitIdentical(t *testing.T) {
+	for _, k := range []int{2, 4} {
+		ds := testDataset(t, uint64(90+k))
+		topo := testTopology(t, ds, k)
+		mc := ModelConfig{Arch: ArchSAGE, Layers: 2, Hidden: 16, Dropout: 0.3, LR: 0.01, Seed: 8}
+		base := ParallelConfig{Model: mc, P: 0.5, SampleSeed: 29, Schedule: ScheduleSerialized}
+
+		// Lower source rank ⇒ slower link, everywhere.
+		model := comm.LinkModel{
+			PerLink: map[comm.Link]time.Duration{},
+			Jitter:  100 * time.Microsecond,
+			Seed:    5,
+		}
+		for s := 0; s < k; s++ {
+			for d := 0; d < k; d++ {
+				if s != d {
+					model.PerLink[comm.Link{Src: s, Dst: d}] = time.Duration(k-s) * 800 * time.Microsecond
+				}
+			}
+		}
+
+		ref, err := NewParallelTrainer(ds, topo, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		type skewed struct {
+			name string
+			tr   *ParallelTrainer
+		}
+		var runs []skewed
+		for _, sched := range []Schedule{ScheduleOverlapRank, ScheduleOverlap} {
+			cfg := base
+			cfg.Schedule = sched
+			tr, err := NewParallelTrainerOver(ds, topo, cfg, comm.WithLinkModel(comm.New(k, 0), model))
+			if err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, skewed{name: sched.String(), tr: tr})
+		}
+		const epochs = 3
+		for e := 0; e < epochs; e++ {
+			want := ref.TrainEpoch()
+			for _, r := range runs {
+				got := r.tr.TrainEpoch()
+				if got.Loss != want.Loss {
+					t.Fatalf("k=%d %s epoch %d: loss %.17g != %.17g under skewed links", k, r.name, e, got.Loss, want.Loss)
+				}
+			}
+		}
+		for r := 0; r < k; r++ {
+			for _, rr := range runs {
+				if d := MaxParamDiff(ref.Models[r], rr.tr.Models[r]); d != 0 {
+					t.Fatalf("k=%d %s rank %d: weights diverged by %v under skewed links", k, rr.name, r, d)
+				}
+			}
+		}
+	}
+}
+
 // TestOverlapWorstCaseAllBoundaryDependent pins the degenerate schedule: at
 // p=1 on a topology where every inner node of every partition has a remote
 // neighbor, the halo-free chunk can be empty (zero overlap available) and
-// the pipelined schedule must still be exactly equivalent.
+// both pipelined schedules must still be exactly equivalent.
 func TestOverlapWorstCaseAllBoundaryDependent(t *testing.T) {
 	ds := testDataset(t, 31)
 	const k = 2
 	topo := testTopology(t, ds, k)
 	mc := ModelConfig{Arch: ArchSAGE, Layers: 2, Hidden: 16, Dropout: 0.5, LR: 0.01, Seed: 3}
-	base := ParallelConfig{Model: mc, P: 1, SampleSeed: 13}
-	over := base
-	over.Overlap = true
+	base := ParallelConfig{Model: mc, P: 1, SampleSeed: 13, Schedule: ScheduleSerialized}
 
-	a, err := NewParallelTrainer(ds, topo, base)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := NewParallelTrainer(ds, topo, over)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for e := 0; e < 3; e++ {
-		sa, sb := a.TrainEpoch(), b.TrainEpoch()
-		if sa.Loss != sb.Loss {
-			t.Fatalf("epoch %d: loss diverged %.17g vs %.17g", e, sa.Loss, sb.Loss)
+	for _, sched := range []Schedule{ScheduleOverlapRank, ScheduleOverlap} {
+		cfg := base
+		cfg.Schedule = sched
+		b, err := NewParallelTrainer(ds, topo, cfg)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	for r := 0; r < k; r++ {
-		if d := MaxParamDiff(a.Models[r], b.Models[r]); d != 0 {
-			t.Fatalf("rank %d diverged by %v", r, d)
+		aCopy, err := NewParallelTrainer(ds, topo, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < 3; e++ {
+			sa, sb := aCopy.TrainEpoch(), b.TrainEpoch()
+			if sa.Loss != sb.Loss {
+				t.Fatalf("%s epoch %d: loss diverged %.17g vs %.17g", sched, e, sa.Loss, sb.Loss)
+			}
+		}
+		for r := 0; r < k; r++ {
+			if d := MaxParamDiff(aCopy.Models[r], b.Models[r]); d != 0 {
+				t.Fatalf("%s rank %d diverged by %v", sched, r, d)
+			}
 		}
 	}
 }
 
 // TestSplitRowsPartition checks the per-epoch row split invariants the
 // engine relies on: haloFree ∪ haloDep = [0, NIn) ascending and disjoint,
-// and haloSlots exactly the sampled boundary slots.
+// haloSlots exactly the sampled boundary slots, and — for the default
+// arrival-order schedule — the per-peer buckets: every halo-dependent row
+// appears once in the bucket of each peer it awaits, every bucket row has an
+// active neighbor owned by that peer, and the drain's countdown consumed
+// every wait (rowWait back at zero).
 func TestSplitRowsPartition(t *testing.T) {
 	ds := testDataset(t, 8)
 	topo := testTopology(t, ds, 3)
@@ -152,6 +230,44 @@ func TestSplitRowsPartition(t *testing.T) {
 		}
 		if len(lp.haloSlots) != nSlots {
 			t.Fatalf("rank %d: %d halo slots listed, %d active", r, len(lp.haloSlots), nSlots)
+		}
+
+		// Bucket invariants (arrival-order schedule is the default).
+		bucketed := make([]int, lp.NIn)
+		for j, rows := range lp.peerRows {
+			lastRow := int32(-1)
+			for _, v := range rows {
+				if v <= lastRow {
+					t.Fatalf("rank %d: peerRows[%d] not ascending", r, j)
+				}
+				lastRow = v
+				bucketed[v]++
+				found := false
+				for _, u := range lp.eg.Neighbors(v) {
+					if int(u) >= lp.NIn && lp.slotOwner[int(u)-lp.NIn] == int32(j) {
+						found = true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("rank %d: row %d bucketed under peer %d without an active neighbor there", r, v, j)
+				}
+			}
+		}
+		isDep := make([]bool, lp.NIn)
+		for _, v := range lp.haloDep {
+			isDep[v] = true
+		}
+		for v := 0; v < lp.NIn; v++ {
+			if isDep[v] && bucketed[v] == 0 {
+				t.Fatalf("rank %d: halo-dependent row %d awaits no peer", r, v)
+			}
+			if !isDep[v] && bucketed[v] != 0 {
+				t.Fatalf("rank %d: halo-free row %d bucketed %d times", r, v, bucketed[v])
+			}
+			if lp.rowWait[v] != 0 {
+				t.Fatalf("rank %d: rowWait[%d]=%d after the drain, want 0", r, v, lp.rowWait[v])
+			}
 		}
 	}
 }

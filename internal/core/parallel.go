@@ -76,7 +76,23 @@ type LocalPartition struct {
 	haloDep   []int32
 	haloSlots []int32
 	pendRecv  []comm.PendingRecvF32 // per peer: posted halo receives
-	recvData  [][]float32           // per peer: drained payloads (serialized mode)
+	recvData  [][]float32           // per peer: drained payloads (staged fold)
+
+	// Arrival-order drain state (ScheduleOverlap, see pipeline.go): the
+	// owner rank of every boundary slot (static), and the per-epoch row
+	// buckets splitRows derives from it — peerRows[j] lists (ascending) the
+	// halo-dependent rows with at least one active neighbor owned by j,
+	// rowWaitInit[v] the number of distinct peers row v awaits (rowWait is
+	// the per-layer working countdown, re-armed from rowWaitInit at the
+	// start of every layer's drain), readyRows the scratch for rows
+	// unlocked by one peer's arrival, peerMark the dedup marker used while
+	// bucketing.
+	slotOwner   []int32
+	peerRows    [][]int32
+	rowWaitInit []int32
+	rowWait     []int32
+	readyRows   []int32
+	peerMark    []int32
 }
 
 // NewLocalPartition extracts partition i's local view from the dataset and
@@ -179,6 +195,15 @@ func NewLocalPartition(ds *datagen.Dataset, t *Topology, i int) *LocalPartition 
 	lp.haloSlots = make([]int32, 0, lp.NBd)
 	lp.pendRecv = make([]comm.PendingRecvF32, k)
 	lp.recvData = make([][]float32, k)
+	lp.slotOwner = make([]int32, lp.NBd)
+	for x, u := range boundary {
+		lp.slotOwner[x] = t.Parts[u]
+	}
+	lp.peerRows = make([][]int32, k)
+	lp.rowWaitInit = make([]int32, lp.NIn)
+	lp.rowWait = make([]int32, lp.NIn)
+	lp.readyRows = make([]int32, 0, lp.NIn)
+	lp.peerMark = make([]int32, k)
 	return lp
 }
 
@@ -187,21 +212,54 @@ func NewLocalPartition(ds *datagen.Dataset, t *Topology, i int) *LocalPartition 
 // while halo features are in flight) and the halo-dependent remainder, and
 // collects the active halo slots. All three lists are ascending, which the
 // staged backward relies on for bit-identical accumulation order.
-func (lp *LocalPartition) splitRows(eg *graph.Graph) {
+//
+// With buckets set (the arrival-order drain) it additionally buckets the
+// halo-dependent rows by awaited peer: peerRows[j] lists every row with an
+// active neighbor owned by rank j, and rowWait[v] counts row v's distinct
+// awaited peers — the countdown that unlocks a row the moment its last
+// peer's payload lands. Bucketing needs the full neighbor scan, so the
+// rank-order schedules skip it and keep the early-out row scan.
+func (lp *LocalPartition) splitRows(eg *graph.Graph, buckets bool) {
 	free, dep := lp.haloFree[:0], lp.haloDep[:0]
 	nIn := int32(lp.NIn)
-	for v := int32(0); v < nIn; v++ {
-		needsHalo := false
-		for _, u := range eg.Neighbors(v) {
-			if u >= nIn {
-				needsHalo = true
-				break
+	if buckets {
+		for j := range lp.peerRows {
+			lp.peerRows[j] = lp.peerRows[j][:0]
+			lp.peerMark[j] = -1
+		}
+		for v := int32(0); v < nIn; v++ {
+			waits := int32(0)
+			for _, u := range eg.Neighbors(v) {
+				if u >= nIn {
+					o := lp.slotOwner[u-nIn]
+					if lp.peerMark[o] != v {
+						lp.peerMark[o] = v
+						lp.peerRows[o] = append(lp.peerRows[o], v)
+						waits++
+					}
+				}
+			}
+			lp.rowWaitInit[v] = waits
+			if waits > 0 {
+				dep = append(dep, v)
+			} else {
+				free = append(free, v)
 			}
 		}
-		if needsHalo {
-			dep = append(dep, v)
-		} else {
-			free = append(free, v)
+	} else {
+		for v := int32(0); v < nIn; v++ {
+			needsHalo := false
+			for _, u := range eg.Neighbors(v) {
+				if u >= nIn {
+					needsHalo = true
+					break
+				}
+			}
+			if needsHalo {
+				dep = append(dep, v)
+			} else {
+				free = append(free, v)
+			}
 		}
 	}
 	lp.haloFree, lp.haloDep = free, dep
@@ -252,6 +310,49 @@ const (
 	EstimatorHT
 )
 
+// Schedule selects the epoch engine's stage schedule (see pipeline.go). All
+// three schedules are bit-identical — same weights, losses, and per-rank
+// payload bytes over every backend; the overlap equivalence tests pin this —
+// they differ only in where the waits sit and in what order peer payloads
+// are consumed, never in the arithmetic.
+type Schedule int
+
+const (
+	// ScheduleOverlap — the default — is the pipelined schedule with the
+	// arrival-order drain: halo sends/receives are posted first, halo-free
+	// rows compute while boundary data is in flight, and each peer's
+	// halo-dependent rows complete the moment that peer's payload lands
+	// (whichever peer that is), so one slow peer no longer stalls rows whose
+	// data already arrived.
+	ScheduleOverlap Schedule = iota
+	// ScheduleOverlapRank is the pipelined schedule draining peers in
+	// ascending rank order — the straggler-sensitive baseline the
+	// arrival-order drain is measured against.
+	ScheduleOverlapRank
+	// ScheduleSerialized is the historical baseline: every wait up front,
+	// then all compute.
+	ScheduleSerialized
+)
+
+// overlapped reports whether the schedule pipelines comm with compute.
+func (s Schedule) overlapped() bool { return s != ScheduleSerialized }
+
+// arrival reports whether the schedule drains peers in arrival order.
+func (s Schedule) arrival() bool { return s == ScheduleOverlap }
+
+// String names the schedule for logs and experiment tables.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleOverlap:
+		return "overlap/arrival"
+	case ScheduleOverlapRank:
+		return "overlap/rank"
+	case ScheduleSerialized:
+		return "serialized"
+	}
+	return fmt.Sprintf("Schedule(%d)", int(s))
+}
+
 // ParallelConfig configures BNS-GCN training.
 type ParallelConfig struct {
 	Model ModelConfig
@@ -262,14 +363,11 @@ type ParallelConfig struct {
 	SampleSeed uint64
 	// Estimator selects the sampled-aggregation normalizer (SAGE only).
 	Estimator Estimator
-	// Overlap selects the pipelined epoch schedule: halo sends/receives are
-	// posted first, rows whose aggregation needs no halo slot compute while
-	// boundary data is in flight, and the halo-dependent rows complete on
-	// arrival — for both forward and backward. The schedule is bit-identical
-	// to the serialized one (same weights, losses, and payload bytes over
-	// every backend; the overlap equivalence tests pin this): only the
-	// position of the waits moves, never the arithmetic.
-	Overlap bool
+	// Schedule selects the epoch stage schedule. The zero value is
+	// ScheduleOverlap: the pipelined engine with arrival-order draining is
+	// the default, and ScheduleSerialized is the escape hatch
+	// (cmd/bnsgcn -overlap=false).
+	Schedule Schedule
 }
 
 // EpochStats reports one epoch of parallel training. Durations are the
@@ -281,9 +379,10 @@ type EpochStats struct {
 	ComputeTime time.Duration
 	// CommTime is the raw halo-exchange span: payload gather/serialize plus
 	// the full post-to-consumed window of every exchange. Under the
-	// pipelined schedule (ParallelConfig.Overlap) that window runs
-	// concurrently with ComputeTime, so the two overlap and must not be
-	// summed — use ExposedCommTime for critical-path accounting.
+	// pipelined schedules (ParallelConfig.Schedule = ScheduleOverlap or
+	// ScheduleOverlapRank) that window runs concurrently with ComputeTime,
+	// so the two overlap and must not be summed — use ExposedCommTime for
+	// critical-path accounting.
 	CommTime time.Duration
 	// ExposedCommTime is the unoverlapped portion of comm: gather/serialize
 	// work plus the time actually spent blocked waiting for boundary data
@@ -330,6 +429,12 @@ type RankTrainer struct {
 	evalModel        *Model
 	evalTrainer      *FullTrainer
 	flatGrad         []float32 // reusable gradient AllReduce buffer
+	// arrCh is the completion queue of the arrival-order drain: every
+	// notify-posted halo receive delivers its peer's rank here when the
+	// payload becomes consumable. Capacity K covers the at most K−1
+	// notifications outstanding per phase, so the transport never blocks
+	// delivering a token.
+	arrCh chan int
 }
 
 // NewRankTrainer builds the local state for one rank of a k-way training
@@ -355,6 +460,7 @@ func NewRankTrainer(ds *datagen.Dataset, topo *Topology, cfg ParallelConfig, ran
 		Model: model,
 		opt:   optim.NewAdam(cfg.Model.LR),
 		rng:   tensor.NewRNG(cfg.SampleSeed + uint64(rank)*0x9e3779b9),
+		arrCh: make(chan int, topo.K),
 	}
 	// The loss normalizer is the global number of training nodes, which is a
 	// property of the dataset alone — no cross-rank exchange needed.

@@ -13,23 +13,46 @@ import (
 // partition's view, executed as a per-layer stage schedule instead of the
 // old strictly serialized sample → exchange → compute phases.
 //
-// Every layer pass runs in two compute chunks over a per-epoch row partition
+// Every layer pass runs in compute chunks over a per-epoch row partition
 // (LocalPartition.splitRows): the halo-free rows, whose aggregation reads no
 // sampled boundary slot, and the halo-dependent remainder. Halo sends and
 // receives are posted asynchronously (comm.Worker.ISendF32/IRecvF32) before
-// any chunk runs. The two schedules differ only in where the waits sit:
+// any chunk runs. The three schedules differ only in where the waits sit and
+// in what order peer payloads are consumed:
 //
-//	serialized (Overlap=false):  post → wait+consume → chunk1 → chunk2
-//	pipelined  (Overlap=true):   post → chunk1 → wait+consume → chunk2
+//	ScheduleSerialized:   post → wait+consume (rank order) → chunk1 → chunk2
+//	ScheduleOverlapRank:  post → chunk1 → wait+consume (rank order) → chunk2
+//	ScheduleOverlap:      post → chunk1 → consume peers in ARRIVAL order,
+//	                      computing each peer's dependent rows as its
+//	                      payload lands (drainForwardArrival)
 //
-// Both schedules issue the identical call sequence with identical arguments
-// — the same messages, the same chunked layer passes, the same dropout RNG
-// consumption order (inner rows before halo rows) — so they are bit-identical
-// by construction: weights, losses, and per-rank payload bytes match exactly
-// on every backend. The chunked passes themselves are bit-identical to the
-// one-shot layer passes (see nn's chunked-pass property tests), so the
-// engine also reproduces the historical serialized implementation bit for
-// bit.
+// The arrival-order drain is the default. It rides on the transports'
+// completion notifications (comm.Transport.IRecvF32Notify): every posted
+// halo receive reports its peer on RankTrainer.arrCh the moment the payload
+// is consumable, and the drain consumes whichever lands first — so one slow
+// peer no longer stalls rows whose data already arrived. Determinism
+// survives the nondeterministic consumption order because nothing in it is
+// order-sensitive:
+//
+//   - the forward scatter writes each peer's rows into disjoint halo slots;
+//   - dropout masks for the whole halo range are drawn up front in ascending
+//     element order (nn.Dropout.MaskRows — the RNG stream order of the
+//     rank-order schedules) and only *applied* per peer on arrival;
+//   - a halo-dependent row is computed exactly once, when its last awaited
+//     peer lands (splitRows' per-peer buckets + rowWait countdown), and the
+//     chunked row passes are bit-identical per row in any order;
+//   - backward peer gradients, whose += folds into shared rows ARE
+//     order-sensitive, are only staged per peer on arrival and folded in
+//     canonical ascending rank order once all are in.
+//
+// All schedules therefore issue the same messages and the same per-row
+// arithmetic with the same RNG consumption order, and are bit-identical by
+// construction: weights, losses, and per-rank payload bytes match exactly on
+// every backend (the overlap equivalence tests pin this, including a skewed
+// comm.WithLinkModel case that inverts peer completion order). The chunked
+// passes themselves are bit-identical to the one-shot layer passes (see nn's
+// chunked-pass property tests), so the engine also reproduces the historical
+// serialized implementation bit for bit.
 //
 // Backward is staged the same way per layer: BackwardBegin + BackwardHalo
 // complete the halo rows of the input gradient first, their 1/p-scaled
@@ -41,7 +64,9 @@ import (
 // the critical-path portion (payload gather/serialize plus actual blocked
 // waits and halo fills), Comm the raw span from post to last consumption —
 // which under overlap runs concurrently with Compute and measures what the
-// exchange would cost if nothing hid it.
+// exchange would cost if nothing hid it. The arrival-order drain attributes
+// the row compute it interleaves between waits to Compute, not CommExposed,
+// so the exposed figure stays comparable across schedules.
 
 // runEpoch executes one BNS-GCN epoch for this rank over the worker's
 // transport.
@@ -53,7 +78,8 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 	rng := rt.rng
 	k := rt.Topo.K
 	p := float32(rt.Cfg.P)
-	overlap := rt.Cfg.Overlap
+	overlap := rt.Cfg.Schedule.overlapped()
+	arrival := rt.Cfg.Schedule.arrival()
 	// The paper's 1/p rescaling of received features (Section 3.2) makes the
 	// *mean aggregator's* neighbor sum unbiased. Attention models normalize
 	// per-neighborhood via softmax, so the rescale would only distort the
@@ -135,7 +161,7 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 			}
 		}
 	}
-	lp.splitRows(eg)
+	lp.splitRows(eg, arrival)
 	recvSlots := lp.recvSlots // halo local ids I fill from j
 	for j := 0; j < k; j++ {
 		if j == rank {
@@ -206,19 +232,51 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 			w.ISendF32(j, tagForward+l, payload)
 			ws.CommBytes += int64(4 * len(payload))
 		}
+		nPend := 0
 		for j := 0; j < k; j++ {
 			if j == rank || len(recvSlots[j]) == 0 {
 				continue
 			}
-			lp.pendRecv[j] = w.IRecvF32(j, tagForward+l)
+			if arrival {
+				lp.pendRecv[j] = w.IRecvF32Notify(j, tagForward+l, rt.arrCh, j)
+			} else {
+				lp.pendRecv[j] = w.IRecvF32(j, tagForward+l)
+			}
+			nPend++
 		}
 		post := time.Since(cs)
 		ws.CommExposed += post
 		ws.Comm += post
 		flightStart := time.Now()
 
-		if overlap {
+		switch {
+		case arrival:
 			// Chunk 1 — halo-free rows — while boundary rows are in flight.
+			// The halo range's dropout masks are drawn here (ascending, the
+			// exact RNG stream position of the other schedules' chunk 2) so
+			// the drain can apply them per peer in any arrival order.
+			ps := time.Now()
+			xd := drop.ForwardBegin(x, true)
+			drop.ForwardRows(0, lp.NIn)
+			hInner = layer.ForwardBegin(eg, xd, lp.NIn, invDeg)
+			layer.ForwardPrep(0, lp.NIn)
+			drop.MaskRows(lp.NIn, nLocal)
+			layer.ForwardRows(lp.haloFree)
+			ws.Compute += time.Since(ps)
+
+			lastConsume := rt.drainForwardArrival(w, x, l, dim, invP, drop, layer, nPend, &ws)
+			if exchanging {
+				// Raw comm span ends at the last consumption, not after the
+				// trailing row compute the drain interleaves — keeping
+				// comm(raw) comparable with the rank-order schedule.
+				if lastConsume.IsZero() {
+					lastConsume = flightStart
+				}
+				ws.Comm += lastConsume.Sub(flightStart)
+			}
+		case overlap:
+			// Rank-order drain: chunk 1 overlaps the flight, then all peers
+			// complete in ascending rank order before chunk 2.
 			ps := time.Now()
 			xd := drop.ForwardBegin(x, true)
 			drop.ForwardRows(0, lp.NIn)
@@ -243,7 +301,7 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 			layer.ForwardPrep(lp.NIn, nLocal)
 			layer.ForwardRows(lp.haloDep)
 			ws.Compute += time.Since(ps)
-		} else {
+		default:
 			// Serialized baseline: identical calls, waits moved up front.
 			ds := time.Now()
 			rt.drainForward(w, x, l, dim, invP)
@@ -312,11 +370,17 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 			w.ISendF32(j, tagBackward+l, payload)
 			ws.CommBytes += int64(4 * len(payload))
 		}
+		nPend := 0
 		for j := 0; j < k; j++ {
 			if j == rank || len(sendRows[j]) == 0 {
 				continue
 			}
-			lp.pendRecv[j] = w.IRecvF32(j, tagBackward+l)
+			if arrival {
+				lp.pendRecv[j] = w.IRecvF32Notify(j, tagBackward+l, rt.arrCh, j)
+			} else {
+				lp.pendRecv[j] = w.IRecvF32(j, tagBackward+l)
+			}
+			nPend++
 		}
 		post := time.Since(cs)
 		ws.CommExposed += post
@@ -345,9 +409,19 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 		ws.Compute += time.Since(ps)
 
 		// Assemble the next output gradient: my inner rows plus the halo
-		// gradients the peers computed for them, folded in ascending peer
-		// order (the accumulation order is part of bit-identity).
+		// gradients the peers computed for them. Peer gradients += into
+		// shared destination rows, so the fold itself must stay in ascending
+		// rank order (the accumulation order is part of bit-identity) — the
+		// arrival-order schedule therefore only *stages* each peer's payload
+		// as it lands (the receive, and under a modeled link its latency,
+		// completes in arrival order) and folds once all are in.
 		as := time.Now()
+		if arrival {
+			for i := 0; i < nPend; i++ {
+				j := <-rt.arrCh
+				lp.recvData[j] = lp.pendRecv[j].Wait()
+			}
+		}
 		dNext := lp.ws.Get(lp.NIn, dim)
 		copy(dNext.Data, dxm.Data[:lp.NIn*dim])
 		for j := 0; j < k; j++ {
@@ -395,23 +469,76 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 // rescaling (Section 3.2), and recycles the payload buffers. Callers time
 // the whole call and attribute it to the comm counters themselves.
 func (rt *RankTrainer) drainForward(w *comm.Worker, x *tensor.Matrix, l, dim int, invP float32) {
-	lp := rt.LP
 	for j := 0; j < rt.Topo.K; j++ {
-		if j == rt.Rank || len(lp.recvSlots[j]) == 0 {
+		if j == rt.Rank || len(rt.LP.recvSlots[j]) == 0 {
 			continue
 		}
-		data := lp.pendRecv[j].Wait()
-		if len(data) != len(lp.recvSlots[j])*dim {
-			panic(fmt.Sprintf("core: rank %d layer %d: got %d floats from %d, want %d",
-				rt.Rank, l, len(data), j, len(lp.recvSlots[j])*dim))
+		rt.consumeForward(w, x, j, l, dim, invP)
+	}
+}
+
+// consumeForward waits for peer j's boundary feature rows for this layer,
+// scatters them into j's halo slots of x with the unbiased 1/p rescaling
+// (Section 3.2), and recycles the payload buffer. The slots of different
+// peers are disjoint, so both drains — rank order and arrival order — go
+// through this one path and cannot diverge.
+func (rt *RankTrainer) consumeForward(w *comm.Worker, x *tensor.Matrix, j, l, dim int, invP float32) {
+	lp := rt.LP
+	data := lp.pendRecv[j].Wait()
+	if len(data) != len(lp.recvSlots[j])*dim {
+		panic(fmt.Sprintf("core: rank %d layer %d: got %d floats from %d, want %d",
+			rt.Rank, l, len(data), j, len(lp.recvSlots[j])*dim))
+	}
+	for x2, slot := range lp.recvSlots[j] {
+		dst := x.Row(int(slot))
+		src := data[x2*dim : (x2+1)*dim]
+		for c, v := range src {
+			dst[c] = v * invP
 		}
-		for x2, slot := range lp.recvSlots[j] {
-			dst := x.Row(int(slot))
-			src := data[x2*dim : (x2+1)*dim]
-			for c, v := range src {
-				dst[c] = v * invP
+	}
+	w.RecycleF32(data)
+}
+
+// drainForwardArrival consumes this layer's boundary feature rows in
+// peer-arrival order: it blocks on the completion queue, and whichever
+// peer's payload becomes consumable first is scattered into that peer's halo
+// slots (disjoint per peer, so arrival order cannot change the bits), the
+// slots get their pre-drawn dropout masks applied and their per-node
+// precomputations run, and every halo-dependent row whose last awaited peer
+// just landed is computed immediately (splitRows' rowWait countdown). Rows
+// unlocked by one peer are ascending (peerRows is built by an ascending row
+// scan) and each row runs exactly once, with per-row arithmetic identical to
+// the rank-order chunk 2 — so the result is bit-identical while a slow peer
+// stalls only the rows that genuinely need it.
+//
+// Blocked waits and halo fills are attributed to CommExposed, the unlocked
+// row compute to Compute, keeping the exposed-comm figure comparable with
+// the other schedules; the returned time of the last consumption lets the
+// caller end the raw comm span there (zero when nothing was pending).
+func (rt *RankTrainer) drainForwardArrival(w *comm.Worker, x *tensor.Matrix, l, dim int, invP float32,
+	drop *nn.Dropout, layer GraphLayer, nPend int, ws *RankStats) (lastConsume time.Time) {
+	lp := rt.LP
+	copy(lp.rowWait, lp.rowWaitInit) // re-arm the countdown for this layer's drain
+	for i := 0; i < nPend; i++ {
+		cs := time.Now()
+		j := <-rt.arrCh
+		rt.consumeForward(w, x, j, l, dim, invP)
+		lastConsume = time.Now()
+		ws.CommExposed += lastConsume.Sub(cs)
+
+		ps := time.Now()
+		drop.ApplyMaskedRows(lp.recvSlots[j])
+		layer.ForwardPrepRows(lp.recvSlots[j])
+		ready := lp.readyRows[:0]
+		for _, v := range lp.peerRows[j] {
+			lp.rowWait[v]--
+			if lp.rowWait[v] == 0 {
+				ready = append(ready, v)
 			}
 		}
-		w.RecycleF32(data)
+		lp.readyRows = ready
+		layer.ForwardRows(ready)
+		ws.Compute += time.Since(ps)
 	}
+	return lastConsume
 }

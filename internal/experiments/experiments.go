@@ -209,29 +209,47 @@ func trainBNS(ds *datagen.Dataset, topo *core.Topology, model core.ModelConfig, 
 	res := &bnsResult{Topo: topo, Epochs: epochs, Trainer: tr}
 	for e := 1; e <= epochs; e++ {
 		st := tr.TrainEpoch()
-		res.AvgStats.Loss += st.Loss
-		res.AvgStats.SampleTime += st.SampleTime
-		res.AvgStats.ComputeTime += st.ComputeTime
-		res.AvgStats.CommTime += st.CommTime
-		res.AvgStats.ExposedCommTime += st.ExposedCommTime
-		res.AvgStats.ReduceTime += st.ReduceTime
-		res.AvgStats.CommBytes += st.CommBytes
-		res.AvgStats.ReduceBytes += st.ReduceBytes
+		addEpochStats(&res.AvgStats, st)
 		if evalEvery > 0 && e%evalEvery == 0 {
 			res.Curve.Add(e, tr.Evaluate(ds.TestMask))
 		}
 	}
-	n := int64(epochs)
-	res.AvgStats.Loss /= float64(n)
-	res.AvgStats.SampleTime /= time.Duration(n)
-	res.AvgStats.ComputeTime /= time.Duration(n)
-	res.AvgStats.CommTime /= time.Duration(n)
-	res.AvgStats.ExposedCommTime /= time.Duration(n)
-	res.AvgStats.ReduceTime /= time.Duration(n)
-	res.AvgStats.CommBytes /= n
-	res.AvgStats.ReduceBytes /= n
+	avgEpochStats(&res.AvgStats, epochs)
 	res.TestScore = tr.Evaluate(ds.TestMask)
 	return res, nil
+}
+
+// addEpochStats accumulates one epoch's stats into agg, and avgEpochStats
+// divides the accumulation by the epoch count — the single aggregation pair
+// every experiment uses. Every scalar field of core.EpochStats must be
+// handled by BOTH functions (the per-partition SampledBd slice is the one
+// deliberate exception — no experiment averages it):
+// TestEpochStatsAggregationCoversAllFields sets every field via reflection
+// and fails when a newly added field is dropped here (it would read 0) or
+// summed but never divided (it would read n× its value), so a new stats
+// field cannot silently skew BENCH json the way ExposedCommTime once
+// threatened to.
+func addEpochStats(agg, st *core.EpochStats) {
+	agg.Loss += st.Loss
+	agg.SampleTime += st.SampleTime
+	agg.ComputeTime += st.ComputeTime
+	agg.CommTime += st.CommTime
+	agg.ExposedCommTime += st.ExposedCommTime
+	agg.ReduceTime += st.ReduceTime
+	agg.CommBytes += st.CommBytes
+	agg.ReduceBytes += st.ReduceBytes
+}
+
+func avgEpochStats(agg *core.EpochStats, epochs int) {
+	n := int64(epochs)
+	agg.Loss /= float64(n)
+	agg.SampleTime /= time.Duration(n)
+	agg.ComputeTime /= time.Duration(n)
+	agg.CommTime /= time.Duration(n)
+	agg.ExposedCommTime /= time.Duration(n)
+	agg.ReduceTime /= time.Duration(n)
+	agg.CommBytes /= n
+	agg.ReduceBytes /= n
 }
 
 // newTabWriter returns a standard table writer for experiment output.

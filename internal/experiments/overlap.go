@@ -13,10 +13,11 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/datagen"
 )
 
 func init() {
-	register("overlap", "Pipelined epoch engine: exposed comm time, serialized vs overlapped", runOverlap)
+	register("overlap", "Pipelined epoch engine: exposed comm time by schedule, plus skewed-link arrival-order drain", runOverlap)
 }
 
 // overlapResult is one (transport, schedule) measurement, averaged per
@@ -24,6 +25,7 @@ func init() {
 type overlapResult struct {
 	Transport  string  `json:"transport"`
 	LatencyUS  int     `json:"link_latency_us"`
+	Schedule   string  `json:"schedule"`
 	Overlap    bool    `json:"overlap"`
 	SampleMS   float64 `json:"sample_ms"`
 	ComputeMS  float64 `json:"compute_ms"`
@@ -46,10 +48,22 @@ type overlapReport struct {
 	Epochs    int             `json:"epochs"`
 	GoMaxProc int             `json:"gomaxprocs"`
 	Results   []overlapResult `json:"results"`
-	// ExposedReduction is 1 − exposed(overlap)/exposed(serialized) per
-	// transport — the fraction of exposed communication time the pipelined
-	// schedule hides behind inner-node compute.
+	// ExposedReduction is 1 − exposed(overlap/arrival)/exposed(serialized)
+	// per transport — the fraction of exposed communication time the
+	// pipelined schedule hides behind inner-node compute.
 	ExposedReduction map[string]float64 `json:"exposed_comm_reduction"`
+
+	// Skewed-link section: k ranks over per-link latencies chosen so the
+	// lowest-rank peer is always the slowest — the adversarial case for the
+	// rank-order drain, whose head-of-line wait the arrival-order drain
+	// sidesteps by completing whichever peer lands first.
+	SkewedK         int             `json:"skewed_k"`
+	SkewedLatencies []string        `json:"skewed_link_latencies"`
+	Skewed          []overlapResult `json:"skewed_link_results"`
+	// SkewedArrivalVsRank is 1 − exposed(arrival)/exposed(rank) per
+	// transport: the share of the rank-order drain's exposed comm the
+	// arrival-order drain reclaims under skewed links.
+	SkewedArrivalVsRank map[string]float64 `json:"skewed_exposed_reduction_arrival_vs_rank"`
 }
 
 // tcpLoopback bootstraps k TCP transports over 127.0.0.1 — the same mesh the
@@ -89,13 +103,74 @@ func tcpLoopback(k int) (*comm.Group, error) {
 	return comm.NewGroup(ts), nil
 }
 
-// runOverlap trains the bundled synthetic Reddit workload with the
-// serialized and the pipelined schedule over both transports, reporting the
-// per-epoch time breakdown with comm split into raw vs exposed. The four
-// runs are bit-identical by construction (the overlap equivalence tests pin
-// this); the experiment's point is the wall-clock split: how much of the
+// measureSchedule trains one (transport, link, schedule) configuration and
+// returns the per-epoch averaged measurement row.
+func measureSchedule(ds dsHandle, k int, p float64, sched core.Schedule, backend string,
+	wrap func(*comm.Group) *comm.Group, latencyUS, epochs, warmup int, seed uint64) (overlapResult, error) {
+	cfg := core.ParallelConfig{Model: ds.model, P: p, SampleSeed: seed + 1, Schedule: sched}
+	cfg.Model.Seed = seed
+	var g *comm.Group
+	var err error
+	if backend == "chan" {
+		g = comm.New(k, 0)
+	} else {
+		g, err = tcpLoopback(k)
+		if err != nil {
+			return overlapResult{}, err
+		}
+	}
+	if wrap != nil {
+		g = wrap(g)
+	}
+	tr, err := core.NewParallelTrainerOver(ds.ds, ds.topo, cfg, g)
+	if err != nil {
+		return overlapResult{}, err
+	}
+	for i := 0; i < warmup; i++ {
+		tr.TrainEpoch()
+	}
+	var agg core.EpochStats
+	var lastLoss float64
+	for e := 0; e < epochs; e++ {
+		st := tr.TrainEpoch()
+		addEpochStats(&agg, st)
+		lastLoss = st.Loss
+	}
+	g.Close()
+	avgEpochStats(&agg, epochs)
+	res := overlapResult{
+		Schedule:  sched.String(),
+		Overlap:   sched != core.ScheduleSerialized,
+		LatencyUS: latencyUS,
+		SampleMS:  ms(agg.SampleTime),
+		ComputeMS: ms(agg.ComputeTime),
+		CommMS:    ms(agg.CommTime),
+		ExposedMS: ms(agg.ExposedCommTime),
+		ReduceMS:  ms(agg.ReduceTime),
+		CommBytes: agg.CommBytes,
+		FinalLoss: lastLoss,
+	}
+	res.TotalMS = res.SampleMS + res.ComputeMS + res.ExposedMS + res.ReduceMS
+	return res, nil
+}
+
+// dsHandle bundles what measureSchedule needs about the workload.
+type dsHandle struct {
+	ds    *datagen.Dataset
+	topo  *core.Topology
+	model core.ModelConfig
+}
+
+// runOverlap trains the bundled synthetic Reddit workload with all three
+// epoch schedules — serialized, pipelined with rank-order drain, pipelined
+// with arrival-order drain — over both transports, reporting the per-epoch
+// time breakdown with comm split into raw vs exposed. All runs are
+// bit-identical by construction (the overlap equivalence tests pin this);
+// the experiment's point is the wall-clock split: how much of the
 // boundary-communication cost the stage schedule hides behind halo-free
-// compute.
+// compute, and — in the skewed-link section — how much of the rank-order
+// drain's head-of-line blocking the arrival-order drain reclaims when the
+// lowest-rank peer is the slowest link.
 func runOverlap(w io.Writer, o Options) error {
 	o = o.withDefaults()
 	spec := redditSpec()
@@ -115,12 +190,14 @@ func runOverlap(w io.Writer, o Options) error {
 	if err != nil {
 		return err
 	}
+	h := dsHandle{ds: ds, topo: topo, model: spec.model}
 
 	report := overlapReport{
 		Workload: ds.Name, K: k, P: p,
 		Layers: spec.model.Layers, Hidden: spec.model.Hidden,
 		Epochs: epochs, GoMaxProc: runtime.GOMAXPROCS(0),
-		ExposedReduction: map[string]float64{},
+		ExposedReduction:    map[string]float64{},
+		SkewedArrivalVsRank: map[string]float64{},
 	}
 
 	fmt.Fprintf(w, "workload %s: %d nodes, k=%d, p=%.2g, %d layers × %d hidden, %d epochs (+%d warm-up)\n\n",
@@ -136,9 +213,10 @@ func runOverlap(w io.Writer, o Options) error {
 	// comm.WithLatency, modelling a link whose propagation delay sleeps
 	// instead of burning cycles. The delay must exceed the CPU-contention
 	// floor (the peers' per-phase compute) to be visible at all; 2ms does on
-	// this k=2 workload, and the overlapped schedule then hides a large
+	// this k=2 workload, and the overlapped schedules then hide a large
 	// share of it behind halo-free compute.
 	const linkLatency = 2 * time.Millisecond
+	schedules := []core.Schedule{core.ScheduleSerialized, core.ScheduleOverlapRank, core.ScheduleOverlap}
 	type linkCfg struct {
 		name    string
 		backend string
@@ -151,74 +229,98 @@ func runOverlap(w io.Writer, o Options) error {
 		{"tcp+2ms", "tcp", linkLatency},
 	}
 	for _, link := range links {
-		transport := link.name
-		exposed := map[bool]float64{}
-		for _, overlap := range []bool{false, true} {
-			cfg := core.ParallelConfig{Model: spec.model, P: p, SampleSeed: o.Seed + 1, Overlap: overlap}
-			cfg.Model.Seed = o.Seed
-			var tr *core.ParallelTrainer
-			var g *comm.Group
-			if link.backend == "chan" {
-				g = comm.New(k, 0)
-			} else {
-				g, err = tcpLoopback(k)
-				if err != nil {
-					return err
-				}
-			}
+		exposed := map[core.Schedule]float64{}
+		for _, sched := range schedules {
+			var wrap func(*comm.Group) *comm.Group
 			if link.latency > 0 {
-				g = comm.WithLatency(g, link.latency)
+				d := link.latency
+				wrap = func(g *comm.Group) *comm.Group { return comm.WithLatency(g, d) }
 			}
-			tr, err = core.NewParallelTrainerOver(ds, topo, cfg, g)
+			res, err := measureSchedule(h, k, p, sched, link.backend, wrap,
+				int(link.latency/time.Microsecond), epochs, warmup, o.Seed)
 			if err != nil {
 				return err
 			}
-			for i := 0; i < warmup; i++ {
-				tr.TrainEpoch()
-			}
-			var agg core.EpochStats
-			var lastLoss float64
-			for e := 0; e < epochs; e++ {
-				st := tr.TrainEpoch()
-				agg.SampleTime += st.SampleTime
-				agg.ComputeTime += st.ComputeTime
-				agg.CommTime += st.CommTime
-				agg.ExposedCommTime += st.ExposedCommTime
-				agg.ReduceTime += st.ReduceTime
-				agg.CommBytes += st.CommBytes
-				lastLoss = st.Loss
-			}
-			g.Close()
-			n := time.Duration(epochs)
-			res := overlapResult{
-				Transport: transport, Overlap: overlap,
-				LatencyUS: int(link.latency / time.Microsecond),
-				SampleMS:  ms(agg.SampleTime / n),
-				ComputeMS: ms(agg.ComputeTime / n),
-				CommMS:    ms(agg.CommTime / n),
-				ExposedMS: ms(agg.ExposedCommTime / n),
-				ReduceMS:  ms(agg.ReduceTime / n),
-				CommBytes: agg.CommBytes / int64(epochs),
-				FinalLoss: lastLoss,
-			}
-			res.TotalMS = res.SampleMS + res.ComputeMS + res.ExposedMS + res.ReduceMS
-			exposed[overlap] = res.ExposedMS
+			res.Transport = link.name
+			exposed[sched] = res.ExposedMS
 			report.Results = append(report.Results, res)
-			sched := "serialized"
-			if overlap {
-				sched = "overlapped"
-			}
 			fmt.Fprintf(tw, "%s\t%s\t%.2fms\t%.2fms\t%.2fms\t%.2fms\t%.2fms\t%.2fms\n",
-				transport, sched, res.SampleMS, res.ComputeMS, res.CommMS, res.ExposedMS, res.ReduceMS, res.TotalMS)
+				link.name, res.Schedule, res.SampleMS, res.ComputeMS, res.CommMS, res.ExposedMS, res.ReduceMS, res.TotalMS)
 		}
-		if exposed[false] > 0 {
-			report.ExposedReduction[transport] = 1 - exposed[true]/exposed[false]
+		if exposed[core.ScheduleSerialized] > 0 {
+			report.ExposedReduction[link.name] = 1 - exposed[core.ScheduleOverlap]/exposed[core.ScheduleSerialized]
 		}
 	}
 	tw.Flush()
 	for _, link := range links {
-		fmt.Fprintf(w, "\n%s: overlapped schedule hides %.0f%% of exposed comm time",
+		fmt.Fprintf(w, "\n%s: arrival-order overlap hides %.0f%% of the serialized schedule's exposed comm",
 			link.name, 100*report.ExposedReduction[link.name])
+	}
+	fmt.Fprintln(w)
+
+	// --- Skewed links: the arrival-order drain's reason to exist ---
+	//
+	// k=4 over a modeled WAN whose per-link latency falls with the source
+	// rank: every rank's slowest peer is its lowest-ranked one, which is
+	// exactly the peer the rank-order drain insists on completing first.
+	// The arrival-order drain consumes the fast peers' payloads (and
+	// computes their dependent rows) while the slow link is still in
+	// flight, so its exposed comm must come in at or below the rank-order
+	// drain's.
+	kS := 4
+	topoS, err := topology(ds, kS, "metis", o.Seed)
+	if err != nil {
+		return err
+	}
+	hS := dsHandle{ds: ds, topo: topoS, model: spec.model}
+	skewBase := []time.Duration{4 * time.Millisecond, 2 * time.Millisecond, time.Millisecond, 500 * time.Microsecond}
+	model := comm.LinkModel{PerLink: map[comm.Link]time.Duration{}, Jitter: 50 * time.Microsecond, Seed: o.Seed}
+	for s := 0; s < kS; s++ {
+		for d := 0; d < kS; d++ {
+			if s != d {
+				model.PerLink[comm.Link{Src: s, Dst: d}] = skewBase[s]
+			}
+		}
+	}
+	report.SkewedK = kS
+	for s, b := range skewBase {
+		report.SkewedLatencies = append(report.SkewedLatencies, fmt.Sprintf("src %d: %s", s, b))
+	}
+	// The per-epoch arrival-vs-rank gap is the fast peers' dependent-row
+	// compute — a millisecond-scale signal against ~30ms of modeled link
+	// wait — so the skewed section needs the full epoch budget (and a
+	// longer warm-up for the TCP demux/writer goroutines) to average
+	// scheduler noise below it on small boxes.
+	epochsS := epochs
+	warmupS := warmup + 2
+	fmt.Fprintf(w, "\nskewed links (k=%d, per-source latency %v..%v, jitter ≤%v): rank-order vs arrival-order drain\n\n",
+		kS, skewBase[0], skewBase[kS-1], model.Jitter)
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "transport\tschedule\tsample\tcompute\tcomm(raw)\tcomm(exposed)\treduce\ttotal/epoch")
+	for _, backend := range []string{"chan", "tcp"} {
+		exposed := map[core.Schedule]float64{}
+		for _, sched := range schedules {
+			m := model
+			wrap := func(g *comm.Group) *comm.Group { return comm.WithLinkModel(g, m) }
+			res, err := measureSchedule(hS, kS, p, sched, backend, wrap,
+				int(skewBase[0]/time.Microsecond), epochsS, warmupS, o.Seed)
+			if err != nil {
+				return err
+			}
+			res.Transport = backend + "+skew"
+			exposed[sched] = res.ExposedMS
+			report.Skewed = append(report.Skewed, res)
+			fmt.Fprintf(tw, "%s\t%s\t%.2fms\t%.2fms\t%.2fms\t%.2fms\t%.2fms\t%.2fms\n",
+				res.Transport, res.Schedule, res.SampleMS, res.ComputeMS, res.CommMS, res.ExposedMS, res.ReduceMS, res.TotalMS)
+		}
+		if exposed[core.ScheduleOverlapRank] > 0 {
+			report.SkewedArrivalVsRank[backend] = 1 - exposed[core.ScheduleOverlap]/exposed[core.ScheduleOverlapRank]
+		}
+	}
+	tw.Flush()
+	for _, backend := range []string{"chan", "tcp"} {
+		fmt.Fprintf(w, "\n%s+skew: arrival-order drain reclaims %.0f%% of the rank-order drain's exposed comm",
+			backend, 100*report.SkewedArrivalVsRank[backend])
 	}
 	fmt.Fprintln(w)
 

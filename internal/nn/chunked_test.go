@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/graph"
@@ -230,4 +231,71 @@ func TestDropoutChunkedMatchesOneShot(t *testing.T) {
 		t.Fatal("identity BackwardBegin must return dOut")
 	}
 	chk.BackwardRows(0, rows)
+}
+
+// TestDropoutMaskApplySplitMatchesForwardRows: drawing all masks up front
+// (MaskRows, the RNG-stream-ordered half) and applying them later in
+// arbitrary per-peer row batches (ApplyMaskedRows, the value-dependent half)
+// must reproduce a plain ascending ForwardRows pass bit for bit — the
+// contract the arrival-order halo drain rests on.
+func TestDropoutMaskApplySplitMatchesForwardRows(t *testing.T) {
+	const rows, cols, cut = 23, 7, 9
+	x := randMat(tensor.NewRNG(3), rows, cols)
+	// Poison a "late" row with ±0 and extreme values to pin the dropped-
+	// element semantics (a literal 0, not value*0).
+	copy(x.Row(rows-1), []float32{float32(math.Inf(1)), float32(math.Copysign(0, -1)), -1e30, 0, 1, -2, 3})
+
+	ref := NewDropout(0.4, tensor.NewRNG(9))
+	chk := NewDropout(0.4, tensor.NewRNG(9))
+
+	want := ref.ForwardBegin(x, true)
+	ref.ForwardRows(0, cut)
+	ref.ForwardRows(cut, rows)
+
+	got := chk.ForwardBegin(x, true)
+	chk.ForwardRows(0, cut)
+	chk.MaskRows(cut, rows)
+	// Apply in out-of-order, disjoint batches, as peers landing would.
+	chk.ApplyMaskedRows([]int32{21, 22, 10, 15})
+	chk.ApplyMaskedRows([]int32{9, 20, 11})
+	chk.ApplyMaskedRows([]int32{14, 12, 13, 16, 17, 18, 19})
+	sameBits(t, "dropout/mask-apply", got.Data, want.Data)
+
+	// Identity pass: both halves are no-ops.
+	if out := chk.ForwardBegin(x, false); out != x {
+		t.Fatal("identity ForwardBegin must return x")
+	}
+	chk.MaskRows(0, rows)
+	chk.ApplyMaskedRows([]int32{0, 1})
+}
+
+// TestGATForwardPrepRowsMatchesRange: per-row-list prep must reproduce the
+// range form bit for bit in any duplicate-free cover order, so the
+// arrival-order drain can prep one peer's halo slots as they land.
+func TestGATForwardPrepRowsMatchesRange(t *testing.T) {
+	for _, tc := range chunkedCases {
+		rng := tensor.NewRNG(77)
+		g := localGraph(rng, tc.nIn, tc.nBd, tc.deg, tc.haloP)
+		h := randMat(rng, g.N, tc.inDim)
+		free, dep, slots := splitHalo(g, tc.nIn)
+
+		ref := NewGATConv(tc.inDim, tc.outDim, ReLUAct, tensor.NewRNG(5))
+		chk := NewGATConv(tc.inDim, tc.outDim, ReLUAct, tensor.NewRNG(5))
+
+		want := ref.ForwardBegin(g, h, tc.nIn)
+		ref.ForwardPrep(0, g.N)
+		ref.ForwardRows(free)
+		ref.ForwardRows(dep)
+
+		got := chk.ForwardBegin(g, h, tc.nIn)
+		chk.ForwardPrep(0, tc.nIn)
+		chk.ForwardRows(free)
+		// Prep the referenced halo slots in reversed per-row batches (the
+		// arrival order is arbitrary), then complete the dependent rows.
+		for i := len(slots) - 1; i >= 0; i-- {
+			chk.ForwardPrepRows(slots[i : i+1])
+		}
+		chk.ForwardRows(dep)
+		sameBits(t, tc.name+"/gat-prep-rows", got.Data, want.Data)
+	}
 }

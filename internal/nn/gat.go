@@ -131,6 +131,22 @@ func (l *GATConv) ForwardPrep(r0, r1 int) {
 	}
 }
 
+// ForwardPrepRows is ForwardPrep for an explicit row list: the arrival-order
+// drain preps exactly one peer's halo slots the moment that peer's payload
+// lands. Per row it runs the same kernels as the range form
+// (tensor.MatMulRows reproduces MatMulRange row for row), so any
+// duplicate-free cover of the rows a pass reads is bit-identical.
+func (l *GATConv) ForwardPrepRows(rows []int32) {
+	tensor.MatMulRows(l.wh, l.h, l.W, rows)
+	a1 := l.A1.Row(0)
+	a2 := l.A2.Row(0)
+	for _, u32 := range rows {
+		u := int(u32)
+		l.s1[u] = tensor.Dot(a1, l.wh.Row(u))
+		l.s2[u] = tensor.Dot(a2, l.wh.Row(u))
+	}
+}
+
 // ForwardRows computes the output rows listed in rows (each row of [0, nOut)
 // must appear exactly once across all calls of one pass).
 func (l *GATConv) ForwardRows(rows []int32) {

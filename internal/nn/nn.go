@@ -250,6 +250,14 @@ func NewDropout(rate float32, rng *tensor.RNG) *Dropout {
 	return &Dropout{Rate: rate, rng: rng.Split()}
 }
 
+// RNGState returns the mask RNG's stream position. A resumed run must
+// continue drawing masks exactly where the interrupted one stopped, so
+// checkpoints persist this alongside the weights.
+func (d *Dropout) RNGState() uint64 { return d.rng.State() }
+
+// SetRNGState repositions the mask RNG stream (checkpoint restore).
+func (d *Dropout) SetRNGState(s uint64) { d.rng.SetState(s) }
+
 // Forward applies dropout when train is true; at inference it is identity.
 // The returned matrix is layer-owned scratch, valid until the next Forward.
 func (d *Dropout) Forward(x *tensor.Matrix, train bool) *tensor.Matrix {
@@ -290,6 +298,57 @@ func (d *Dropout) ForwardRows(r0, r1 int) {
 		} else {
 			mask[lo+i] = 0
 			out[lo+i] = 0
+		}
+	}
+}
+
+// MaskRows draws the dropout masks for rows [r0, r1) without producing
+// output, consuming the RNG stream exactly as ForwardRows would. This
+// decouples the stream-ordered mask draw from the value-dependent output
+// write: the arrival-order epoch drain draws the halo rows' masks in
+// ascending row order while the row values are still in flight, then fills
+// each peer's rows with ApplyMaskedRows as they land — bit-identical to a
+// single ascending ForwardRows pass over the same range. A no-op when the
+// pass is identity.
+func (d *Dropout) MaskRows(r0, r1 int) {
+	if d.mask == nil {
+		return
+	}
+	keep := 1 - d.Rate
+	scale := 1 / keep
+	lo, hi := r0*d.fwdSrc.Cols, r1*d.fwdSrc.Cols
+	mask := d.mask.Data
+	for i := lo; i < hi; i++ {
+		if d.rng.Float32() < keep {
+			mask[i] = scale
+		} else {
+			mask[i] = 0
+		}
+	}
+}
+
+// ApplyMaskedRows writes the output rows listed in rows from the current
+// input and the masks drawn by MaskRows. Elementwise (no RNG), so rows may
+// be applied in any order; each row exactly once per pass, after its input
+// values are in place. Writes v*scale for kept elements and 0 for dropped
+// ones — exactly what ForwardRows writes — so the split pass is
+// bit-identical. A no-op when the pass is identity.
+func (d *Dropout) ApplyMaskedRows(rows []int32) {
+	if d.mask == nil {
+		return
+	}
+	cols := d.fwdSrc.Cols
+	src, mask, out := d.fwdSrc.Data, d.mask.Data, d.outBuf.Data
+	for _, r := range rows {
+		lo := int(r) * cols
+		for c := 0; c < cols; c++ {
+			// Branch like ForwardRows does: a literal 0 for dropped
+			// elements, not src*0 (which differs on ±0/NaN inputs).
+			if m := mask[lo+c]; m != 0 {
+				out[lo+c] = src[lo+c] * m
+			} else {
+				out[lo+c] = 0
+			}
 		}
 	}
 }

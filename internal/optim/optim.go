@@ -87,6 +87,32 @@ func (a *Adam) Step(params, grads []*tensor.Matrix) {
 	}
 }
 
+// StepCount returns the number of updates applied so far — the
+// bias-correction time step t. Part of the optimizer's resumable state:
+// restoring moments without t would re-warm the bias correction and diverge
+// from an uninterrupted run.
+func (a *Adam) StepCount() int { return a.t }
+
+// SetStepCount overrides the bias-correction time step (checkpoint restore,
+// paired with restoring the moment matrices via Moments).
+func (a *Adam) SetStepCount(t int) { a.t = t }
+
+// Moments returns the first and second moment accumulators aligned with
+// params, materializing zeroed state on first use so a freshly constructed
+// optimizer can be checkpointed or restored before its first Step. The
+// returned matrices are the live state: writing into them (checkpoint load)
+// changes the optimizer.
+func (a *Adam) Moments(params []*tensor.Matrix) (m, v []*tensor.Matrix) {
+	if a.m == nil {
+		a.m = zerosLike(params)
+		a.v = zerosLike(params)
+	}
+	if len(a.m) != len(params) {
+		panic(fmt.Sprintf("optim: Adam has state for %d params, asked about %d", len(a.m), len(params)))
+	}
+	return a.m, a.v
+}
+
 func checkAligned(params, grads []*tensor.Matrix) {
 	if len(params) != len(grads) {
 		panic(fmt.Sprintf("optim: %d params vs %d grads", len(params), len(grads)))

@@ -12,6 +12,14 @@ type RNG struct {
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// State returns the generator's position in its stream. SetState(State())
+// round-trips exactly, so checkpoints can persist and resume an RNG stream
+// mid-sequence (splitmix64's entire state is one word).
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState repositions the generator; see State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
