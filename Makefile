@@ -1,0 +1,42 @@
+# Build configuration for the BNS-GCN reproduction.
+#
+# GOAMD64 defaults to v3 (AVX2-era x86-64): the hand-written assembly
+# kernels are CPUID-gated either way, but v3 lets the compiler use AVX/BMI
+# and fused multiply-adds in the scalar tails and the rest of the runtime.
+# CI proves the whole suite under both v1 and v3 (the bit-identity
+# equivalence tests are within-build, so either mode is self-consistent);
+# BENCH_hotpath.json records the measured v1→v3 delta. Override for baseline
+# hardware with `make GOAMD64=v1 <target>`.
+GOAMD64 ?= v3
+export GOAMD64
+
+GO ?= go
+
+.PHONY: build test race bench bench-spmm bench-epoch vet release
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/tensor/ ./internal/comm/ ./internal/core/ ./internal/nn/ ./internal/graph/
+
+# The kernel + aggregation benchmark set behind BENCH_hotpath.json.
+bench-spmm:
+	$(GO) test -run=xxx -bench='BenchmarkSpMM|BenchmarkMatMul$$' -benchtime=2s ./internal/tensor/
+
+bench-epoch:
+	$(GO) test -run=xxx -bench='BenchmarkEpoch' -benchtime=100x ./internal/core/
+
+bench: bench-spmm bench-epoch
+
+# Release build: the shipped binaries (trainer, partitioner, bench harness).
+release: vet build
+	$(GO) build -o bin/bnsgcn ./cmd/bnsgcn
+	$(GO) build -o bin/bnspart ./cmd/bnspart
+	$(GO) build -o bin/bnsbench ./cmd/bnsbench

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestTrainingEngineMatchesScalarFallback extends the schedule-equivalence
+// coverage to the sparse SpMM engine end to end: multi-epoch BNS training
+// with the aggregation plan installed (the default — edge-blocked gathers,
+// transposed-index backward, chunk parallelism) must produce bit-identical
+// weights and losses to training with the layers' scalar fallback
+// (SetAgg(nil): sequential per-edge walks), under every schedule and both
+// model families. Combined with TestOverlapBitIdentical (3 schedules × 2
+// transports on the engine) this pins the whole cross product to the scalar
+// reference.
+func TestTrainingEngineMatchesScalarFallback(t *testing.T) {
+	for _, arch := range []Arch{ArchSAGE, ArchGAT} {
+		for _, sched := range []Schedule{ScheduleOverlap, ScheduleSerialized} {
+			ds := testDataset(t, 91)
+			topo := testTopology(t, ds, 4)
+			mc := ModelConfig{Arch: arch, Layers: 2, Hidden: 16, Dropout: 0.3, LR: 0.01, Seed: 42}
+			cfg := ParallelConfig{Model: mc, P: 0.5, SampleSeed: 23, Schedule: sched}
+
+			engine, err := NewParallelTrainer(ds, topo, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fallback, err := NewParallelTrainer(ds, topo, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rt := range fallback.Ranks {
+				rt.Model.SetAgg(nil)
+			}
+
+			for e := 0; e < 3; e++ {
+				se := engine.TrainEpoch()
+				sf := fallback.TrainEpoch()
+				if se.Loss != sf.Loss {
+					t.Fatalf("%s/%v epoch %d: engine loss %v, fallback %v", arch, sched, e, se.Loss, sf.Loss)
+				}
+			}
+			for r := range engine.Models {
+				pe := engine.Models[r].Params()
+				pf := fallback.Models[r].Params()
+				for i := range pe {
+					for j, v := range pe[i].Data {
+						if v != pf[i].Data[j] {
+							t.Fatalf("%s/%v rank %d param %d[%d]: engine %v, fallback %v", arch, sched, r, i, j, v, pf[i].Data[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -81,3 +81,51 @@ func BenchmarkBuildTopology(b *testing.B) {
 		}
 	}
 }
+
+// benchHighDegTrainer builds a redditsim-shaped high-degree workload where
+// neighbor aggregation (avg degree ~96) dominates the epoch — the shape the
+// sparse SpMM engine targets.
+func benchHighDegTrainer(b *testing.B, p float64, k int) *ParallelTrainer {
+	b.Helper()
+	ds, err := datagen.Generate(datagen.Config{
+		Name: "redditsim-bench", Nodes: 2500, Communities: 32, AvgDegree: 96,
+		IntraFrac: 0.65, DegreeSkew: 2.0, FeatureDim: 48,
+		FeatureSignal: 0.14, FeatureNoise: 1.0,
+		TrainFrac: 0.66, ValFrac: 0.10, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts, err := (&partition.Metis{Seed: 1}).Partition(ds.G, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	topo, err := BuildTopology(ds.G, parts, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ModelConfig{Arch: ArchSAGE, Layers: 2, Hidden: 64, Dropout: 0, LR: 0.01, Seed: 1}
+	tr, err := NewParallelTrainer(ds, topo, ParallelConfig{Model: cfg, P: p, SampleSeed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkEpochHighDegK1 and K4 are the aggregation-dominated epoch rows of
+// BENCH_hotpath.json's aggregation section (k = partition count).
+func BenchmarkEpochHighDegK1(b *testing.B) {
+	tr := benchHighDegTrainer(b, 1.0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TrainEpoch()
+	}
+}
+
+func BenchmarkEpochHighDegK4(b *testing.B) {
+	tr := benchHighDegTrainer(b, 1.0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.TrainEpoch()
+	}
+}

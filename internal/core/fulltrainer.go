@@ -2,6 +2,7 @@ package core
 
 import (
 	"repro/internal/datagen"
+	"repro/internal/graph"
 	"repro/internal/metrics"
 	"repro/internal/nn"
 	"repro/internal/optim"
@@ -18,12 +19,15 @@ type FullTrainer struct {
 	invDeg []float32
 }
 
-// NewFullTrainer builds the reference trainer with an Adam optimizer.
+// NewFullTrainer builds the reference trainer with an Adam optimizer. The
+// full graph is static, so its aggregation plan is built once and installed
+// on the model here.
 func NewFullTrainer(ds *datagen.Dataset, cfg ModelConfig) (*FullTrainer, error) {
 	model, err := NewModel(cfg, ds.FeatureDim(), ds.NumClasses)
 	if err != nil {
 		return nil, err
 	}
+	model.SetAgg(graph.NewAggIndex(ds.G))
 	return &FullTrainer{
 		DS:     ds,
 		Model:  model,

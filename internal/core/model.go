@@ -68,6 +68,13 @@ type GraphLayer interface {
 	Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix
 	Backward(dOut *tensor.Matrix) *tensor.Matrix
 
+	// SetAgg installs the sparse-aggregation plan (graph.AggIndex: the
+	// transposed index plus edge-balanced chunk boundaries) the layer's
+	// passes run over. The plan must be built from the same graph the
+	// passes receive; trainers rebuild it whenever the epoch graph changes.
+	// nil reverts to the layers' serial fallback with identical bits.
+	SetAgg(ai *graph.AggIndex)
+
 	// ForwardBegin prepares a chunked pass and returns the output matrix the
 	// ForwardRows calls will fill.
 	ForwardBegin(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix
@@ -169,6 +176,15 @@ func NewModel(cfg ModelConfig, inDim, outDim int) (*Model, error) {
 // Layers returns the stack as nn.Layer values for optimizers and grad
 // flattening. The returned slice is shared; callers must not mutate it.
 func (m *Model) Layers() []nn.Layer { return m.layersCache }
+
+// SetAgg installs one aggregation plan on every layer. All layers of a
+// model run over the same local graph, so one plan serves the whole stack;
+// the caller keeps ownership and rebuilds it when its graph changes.
+func (m *Model) SetAgg(ai *graph.AggIndex) {
+	for _, l := range m.LayersL {
+		l.SetAgg(ai)
+	}
+}
 
 // LayerInputDims returns the input feature dimension of every layer, the d^(ℓ)
 // sequence of Eq. 4.

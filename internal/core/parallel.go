@@ -59,7 +59,8 @@ type LocalPartition struct {
 	epochIndptr  []int64
 	epochIndices []int32
 	active       []bool
-	eg           graph.Graph // epoch subgraph header, rebuilt in place
+	eg           graph.Graph     // epoch subgraph header, rebuilt in place
+	agg          *graph.AggIndex // epoch aggregation plan, rebuilt with eg
 	ws           *tensor.Workspace
 	myPos        [][]int32 // per peer: positions I sampled (cap: full recv list)
 	theirPos     [][]int32 // per peer: received position slices (epoch-lived)
@@ -175,6 +176,7 @@ func NewLocalPartition(ds *datagen.Dataset, t *Topology, i int) *LocalPartition 
 	lp.epochIndptr = make([]int64, n+1)
 	lp.epochIndices = make([]int32, len(lp.fullIndices))
 	lp.active = make([]bool, n)
+	lp.agg = &graph.AggIndex{} // built alongside each epoch subgraph
 	lp.ws = tensor.NewWorkspace()
 	k := t.K
 	lp.myPos = make([][]int32, k)
@@ -274,7 +276,12 @@ func (lp *LocalPartition) splitRows(eg *graph.Graph, buckets bool) {
 
 // epochGraph rebuilds the node-induced local subgraph on inner ∪ sampled
 // boundary (Algorithm 1 line 5): edges to inactive halo slots are dropped.
-// The returned graph aliases reusable buffers — valid until the next call.
+// The aggregation plan (lp.agg — the SpMM engine's transposed index and
+// edge-balanced chunks, which the model's layers hold a pointer to) is
+// rebuilt in the same breath, so the layers always aggregate over the plan
+// of the graph they are handed. The returned graph aliases reusable
+// buffers — valid until the next call; the rebuild allocates nothing once
+// capacities have warmed up.
 func (lp *LocalPartition) epochGraph() *graph.Graph {
 	n := lp.NIn + lp.NBd
 	pos := int64(0)
@@ -291,6 +298,7 @@ func (lp *LocalPartition) epochGraph() *graph.Graph {
 		lp.epochIndptr[v] = pos
 	}
 	lp.eg = graph.Graph{N: n, Indptr: lp.epochIndptr, Indices: lp.epochIndices[:pos]}
+	lp.agg.Build(&lp.eg)
 	return &lp.eg
 }
 
@@ -462,6 +470,9 @@ func NewRankTrainer(ds *datagen.Dataset, topo *Topology, cfg ParallelConfig, ran
 		rng:   tensor.NewRNG(cfg.SampleSeed + uint64(rank)*0x9e3779b9),
 		arrCh: make(chan int, topo.K),
 	}
+	// The layers aggregate over the per-epoch subgraph; install its plan
+	// once — the pointer is stable, epochGraph rebuilds the contents.
+	rt.Model.SetAgg(rt.LP.agg)
 	// The loss normalizer is the global number of training nodes, which is a
 	// property of the dataset alone — no cross-rank exchange needed.
 	for _, m := range ds.TrainMask {
@@ -504,6 +515,7 @@ func (rt *RankTrainer) Evaluate(mask []bool) float64 {
 		if err != nil {
 			panic(err)
 		}
+		model.SetAgg(graph.NewAggIndex(rt.DS.G))
 		rt.evalModel = model
 		rt.evalTrainer = &FullTrainer{DS: rt.DS, Model: model, invDeg: nn.InvDegrees(rt.DS.G)}
 	}

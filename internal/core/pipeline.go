@@ -15,7 +15,12 @@ import (
 //
 // Every layer pass runs in compute chunks over a per-epoch row partition
 // (LocalPartition.splitRows): the halo-free rows, whose aggregation reads no
-// sampled boundary slot, and the halo-dependent remainder. Halo sends and
+// sampled boundary slot, and the halo-dependent remainder. The row buckets
+// drive the sparse SpMM engine (tensor.SpMMRows and friends, over the
+// aggregation plan LocalPartition rebuilds with each epoch graph): the
+// chunked row passes, the one-shot passes, and the engine's edge-blocked
+// kernels are all bit-identical per row, so the schedule equivalences below
+// hold unchanged on top of it. Halo sends and
 // receives are posted asynchronously (comm.Worker.ISendF32/IRecvF32) before
 // any chunk runs. The three schedules differ only in where the waits sit and
 // in what order peer payloads are consumed:

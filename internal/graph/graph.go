@@ -38,23 +38,32 @@ func (g *Graph) Neighbors(v int32) []int32 {
 	return g.Indices[g.Indptr[v]:g.Indptr[v+1]]
 }
 
-// AvgDegree returns the average node degree.
+// AvgDegree returns the average node degree, O(1) from the Indptr endpoints
+// (the stored arc count over the node count).
 func (g *Graph) AvgDegree() float64 {
 	if g.N == 0 {
 		return 0
 	}
-	return float64(len(g.Indices)) / float64(g.N)
+	return float64(g.Indptr[g.N]-g.Indptr[0]) / float64(g.N)
 }
 
-// MaxDegree returns the largest node degree.
+// MaxDegree returns the largest node degree. A true O(1) answer would need a
+// cached field, which the in-place epoch-subgraph rebuild would silently
+// stale — so this stays a single branch-light pass over adjacent Indptr
+// entries, with no per-node method calls or Indices touches.
 func (g *Graph) MaxDegree() int {
-	mx := 0
-	for v := int32(0); v < int32(g.N); v++ {
-		if d := g.Degree(v); d > mx {
+	if g.N == 0 {
+		return 0 // zero-value Graph has nil Indptr
+	}
+	var mx int64
+	prev := g.Indptr[0]
+	for _, p := range g.Indptr[1 : g.N+1] {
+		if d := p - prev; d > mx {
 			mx = d
 		}
+		prev = p
 	}
-	return mx
+	return int(mx)
 }
 
 // HasEdge reports whether u and v are adjacent (binary search).

@@ -29,6 +29,13 @@ type GATConv struct {
 	DA1 *tensor.Matrix
 	DA2 *tensor.Matrix
 
+	// agg, when set, provides the edge-balanced chunk index the one-shot
+	// Forward parallelizes its per-node attention sweep over (output rows
+	// are fully independent, so chunk scheduling cannot change bits). The
+	// backward keeps its node-serial sweep: its dWh/da1/da2 accumulations
+	// are order-sensitive across nodes.
+	agg *graph.AggIndex
+
 	// Caches.
 	g     *graph.Graph
 	nOut  int
@@ -76,10 +83,31 @@ func (l *GATConv) Grads() []*tensor.Matrix { return []*tensor.Matrix{l.DW, l.DA1
 // ZeroGrad implements Layer.
 func (l *GATConv) ZeroGrad() { zeroGradAll(l.Grads()) }
 
-// Forward computes attention outputs for the first nOut rows of h.
+// SetAgg installs the aggregation plan for subsequent passes (GAT uses only
+// its chunk index; nil reverts to the serial sweep with identical bits).
+func (l *GATConv) SetAgg(ai *graph.AggIndex) { l.agg = ai }
+
+// Forward computes attention outputs for the first nOut rows of h. With an
+// aggregation plan the per-node sweep runs chunk-parallel: forwardNode
+// writes only node-owned state (the node's flat alpha/raw segment and its
+// pre/out rows) and reads only the shared prep arrays, so any chunk
+// schedule produces the serial sweep's bits.
 func (l *GATConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int) *tensor.Matrix {
 	out := l.ForwardBegin(g, h, nOut)
 	l.ForwardPrep(0, h.Rows)
+	if l.agg != nil && len(l.agg.Chunks) > 2 && tensor.Parallelism() > 1 {
+		chunks := l.agg.Chunks
+		tensor.ParallelChunks(len(chunks)-1, func(c int) {
+			lo, hi := int(chunks[c]), int(chunks[c+1])
+			if hi > nOut {
+				hi = nOut
+			}
+			for v := lo; v < hi; v++ {
+				l.forwardNode(v)
+			}
+		})
+		return out
+	}
 	for v := 0; v < nOut; v++ {
 		l.forwardNode(v)
 	}
@@ -147,9 +175,32 @@ func (l *GATConv) ForwardPrepRows(rows []int32) {
 	}
 }
 
+// forwardRowsSeg is the segment size ForwardRows hands to pool workers.
+// Any list longer than one segment parallelizes — typically the halo-free
+// bucket, but also a large per-peer drain bucket; both are safe because
+// every input row a listed output row reads is in place before the call
+// and rows write disjoint state.
+const forwardRowsSeg = 64
+
 // ForwardRows computes the output rows listed in rows (each row of [0, nOut)
-// must appear exactly once across all calls of one pass).
+// must appear exactly once across all calls of one pass). Rows are
+// independent (see Forward), so large lists — the pipelined engine's
+// halo-free bucket — run segment-parallel with unchanged bits.
 func (l *GATConv) ForwardRows(rows []int32) {
+	if len(rows) > forwardRowsSeg && tensor.Parallelism() > 1 {
+		nSeg := (len(rows) + forwardRowsSeg - 1) / forwardRowsSeg
+		tensor.ParallelChunks(nSeg, func(c int) {
+			lo := c * forwardRowsSeg
+			hi := lo + forwardRowsSeg
+			if hi > len(rows) {
+				hi = len(rows)
+			}
+			for _, v := range rows[lo:hi] {
+				l.forwardNode(int(v))
+			}
+		})
+		return
+	}
 	for _, v := range rows {
 		l.forwardNode(int(v))
 	}
@@ -167,9 +218,12 @@ func (l *GATConv) forwardNode(v int) {
 	e := l.alphaBuf[off : off+k]
 	raw := l.rawBuf[off : off+k]
 	s1, s2 := l.s1, l.s2
+	// Per-edge coefficient fill: e_i = s1[v] + s2[u_i], self first.
 	e[0] = s1[v] + s2[v]
+	s1v := s1[v]
+	en := e[1:]
 	for i, u := range nbrs {
-		e[i+1] = s1[v] + s2[u]
+		en[i] = s1v + s2[u]
 	}
 	copy(raw, e)
 	l.eRaw[v] = raw
@@ -196,15 +250,15 @@ func (l *GATConv) forwardNode(v int) {
 		e[i] *= inv
 	}
 	l.alpha[v] = e
-	// z_v = Σ α · Wh.
+	// z_v = Σ α · Wh: self term, then the attention-weighted neighbor
+	// gather on the engine's blocked axpy (bit-identical to sequential
+	// per-edge Axpy).
 	row := l.pre.Row(v)
 	self := l.wh.Row(v)
 	for j, x := range self {
 		row[j] = e[0] * x
 	}
-	for i, u := range nbrs {
-		tensor.Axpy(row, l.wh.Row(int(u)), e[i+1])
-	}
+	tensor.GatherAxpy(row, l.wh, nbrs, e[1:])
 	activationRow(l.out.Row(v), l.Act, row)
 }
 
@@ -281,7 +335,9 @@ func (l *GATConv) BackwardFinish(freeSrc []int32, nIn int) *tensor.Matrix {
 // destination-filtered sweeps preserves, for every destination row and for
 // da1/da2, the exact += order of the unfiltered sweep (the staged schedule
 // recomputes dα for halo-dependent rows, which is pure recomputation of the
-// same values).
+// same values). The inner loops run on the engine primitives: dα is a
+// four-blocked gather of dots (dz loaded once per four neighbor rows), and
+// every accumulation row op is a SIMD Axpy.
 func (l *GATConv) backwardNode(v, destLo, destHi int, accumA bool) {
 	nbrs := l.g.Neighbors(int32(v))
 	alpha := l.alpha[v]
@@ -289,19 +345,17 @@ func (l *GATConv) backwardNode(v, destLo, destHi int, accumA bool) {
 	dz := l.dPre.Row(v)
 	k := len(alpha)
 
-	// dα_i = dz · Wh_{u_i}; and dWh_{u_i} += α_i dz.
+	// dα_i = dz · Wh_{u_i} (self first), then dWh_{u_i} += α_i dz in the
+	// same self-then-ascending-i order as the fused sweep it replaces.
 	dAlpha := ensureF32(&l.dAlpha, k)
-	nodeOf := func(i int) int {
-		if i == 0 {
-			return v
-		}
-		return int(nbrs[i-1])
+	dAlpha[0] = tensor.Dot(dz, l.wh.Row(v))
+	tensor.GatherDots(dAlpha[1:], dz, l.wh, nbrs)
+	if v >= destLo && v < destHi {
+		tensor.Axpy(l.dWh.Row(v), dz, alpha[0])
 	}
-	for i := 0; i < k; i++ {
-		u := nodeOf(i)
-		dAlpha[i] = tensor.Dot(dz, l.wh.Row(u))
-		if u >= destLo && u < destHi {
-			tensor.Axpy(l.dWh.Row(u), dz, alpha[i])
+	for i, u32 := range nbrs {
+		if u := int(u32); u >= destLo && u < destHi {
+			tensor.Axpy(l.dWh.Row(u), dz, alpha[i+1])
 		}
 	}
 	// Softmax backward: de_i = α_i (dα_i − Σ_j α_j dα_j).
@@ -319,26 +373,19 @@ func (l *GATConv) backwardNode(v, destLo, destHi int, accumA bool) {
 			de *= l.NegSlope
 		}
 		// e_i = a1·Wh_v + a2·Wh_{u_i}.
-		u := nodeOf(i)
-		whu := l.wh.Row(u)
+		u := v
+		if i > 0 {
+			u = int(nbrs[i-1])
+		}
 		if accumA {
-			da1, da2 := l.da1, l.da2
-			for j := 0; j < l.OutDim; j++ {
-				da1[j] += de * whv[j]
-				da2[j] += de * whu[j]
-			}
+			tensor.Axpy(l.da1, whv, de)
+			tensor.Axpy(l.da2, l.wh.Row(u), de)
 		}
 		if v >= destLo && v < destHi {
-			dv := l.dWh.Row(v)
-			for j := 0; j < l.OutDim; j++ {
-				dv[j] += de * a1[j]
-			}
+			tensor.Axpy(l.dWh.Row(v), a1, de)
 		}
 		if u >= destLo && u < destHi {
-			duu := l.dWh.Row(u)
-			for j := 0; j < l.OutDim; j++ {
-				duu[j] += de * a2[j]
-			}
+			tensor.Axpy(l.dWh.Row(u), a2, de)
 		}
 	}
 }

@@ -18,6 +18,15 @@ import (
 // global-degree normalizer while halo feature rows arrive pre-scaled by 1/p,
 // which makes z_v an unbiased estimator of the full-graph aggregation
 // (Section 3.2).
+//
+// Aggregation runs on the sparse SpMM engine (tensor.SpMM/SpMMTrans): the
+// forward is a per-row gather over the CSR adjacency, the backward a gather
+// over the TRANSPOSED index, so both parallelize over edge-balanced chunks
+// with no scatter races. The backward's per-destination accumulation order
+// is fixed by construction: the self term first (a copy), then the incoming
+// neighbor contributions in ascending source order — exactly what the
+// scalar fallback below produces, so engine and fallback are bit-identical
+// (the aggregation property tests pin this).
 type SAGEConv struct {
 	InDim, OutDim int
 	Act           Activation
@@ -26,6 +35,11 @@ type SAGEConv struct {
 	B  *tensor.Matrix // 1 × OutDim
 	DW *tensor.Matrix
 	DB *tensor.Matrix
+
+	// agg, when set, is the aggregation plan (transposed index +
+	// edge-balanced chunks) for the graph the passes run over; nil falls
+	// back to serial per-edge walks with identical bits.
+	agg *graph.AggIndex
 
 	// Forward caches for backward.
 	g      *graph.Graph
@@ -65,10 +79,15 @@ func (l *SAGEConv) Grads() []*tensor.Matrix { return []*tensor.Matrix{l.DW, l.DB
 // ZeroGrad implements Layer.
 func (l *SAGEConv) ZeroGrad() { zeroGradAll(l.Grads()) }
 
-// Forward computes outputs for the first nOut rows of h, aggregating over g
-// (whose node space matches h's rows). invDeg[v] is the normalizer for node
-// v's neighbor sum; len(invDeg) >= nOut.
-func (l *SAGEConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix {
+// SetAgg installs the aggregation plan for subsequent passes. ai must be
+// built from the same graph the passes receive (trainers rebuild the plan
+// whenever the epoch graph changes); nil reverts to the scalar fallback.
+// Engine and fallback are bit-identical, so flipping this never changes
+// results — only how the edge walks are blocked and parallelized.
+func (l *SAGEConv) SetAgg(ai *graph.AggIndex) { l.agg = ai }
+
+// checkForward validates the shared Forward/ForwardBegin contract.
+func (l *SAGEConv) checkForward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) {
 	if h.Cols != l.InDim {
 		panic(fmt.Sprintf("nn: SAGEConv input dim %d, want %d", h.Cols, l.InDim))
 	}
@@ -78,25 +97,26 @@ func (l *SAGEConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []
 	if nOut > h.Rows || len(invDeg) < nOut {
 		panic(fmt.Sprintf("nn: SAGEConv nOut=%d rows=%d invDeg=%d", nOut, h.Rows, len(invDeg)))
 	}
-	l.g, l.nOut, l.nAll, l.invDeg = g, nOut, h.Rows, invDeg
+}
 
-	// Aggregate: z_v = invDeg[v] * Σ_{u∈N(v)} h_u, then concat with h_v.
+// Forward computes outputs for the first nOut rows of h, aggregating over g
+// (whose node space matches h's rows). invDeg[v] is the normalizer for node
+// v's neighbor sum; len(invDeg) >= nOut.
+func (l *SAGEConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix {
+	l.checkForward(g, h, nOut, invDeg)
+	l.g, l.nOut, l.nAll, l.invDeg, l.hIn = g, nOut, h.Rows, invDeg, h
+
+	// Aggregate z_v = invDeg[v] * Σ_{u∈N(v)} h_u into the left half of the
+	// concat buffer, then place h_v in the right half.
 	in := l.InDim
 	concat := ensureMat(&l.concat, nOut, 2*in)
+	var chunks []int32
+	if l.agg != nil {
+		chunks = l.agg.Chunks
+	}
+	tensor.SpMM(concat, h, g.Indptr, g.Indices, invDeg, chunks)
 	for v := 0; v < nOut; v++ {
-		row := concat.Row(v)
-		zrow := row[:in]
-		for j := range zrow {
-			zrow[j] = 0
-		}
-		for _, u := range g.Neighbors(int32(v)) {
-			tensor.AddTo(zrow, h.Data[int(u)*in:int(u)*in+in])
-		}
-		s := invDeg[v]
-		for j := range zrow {
-			zrow[j] *= s
-		}
-		copy(row[in:], h.Row(v))
+		copy(concat.Row(v)[in:], h.Row(v))
 	}
 
 	pre := ensureMat(&l.pre, nOut, l.OutDim)
@@ -116,19 +136,11 @@ func (l *SAGEConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []
 // the backward caches, and returns the output matrix whose rows ForwardRows
 // will fill. Chunking cannot change results — every output row is computed
 // with exactly the per-row arithmetic of the one-shot Forward (see
-// tensor.MatMulRows) and rows are independent — so any duplicate-free
-// partition of [0, nOut) reproduces Forward bit for bit; the chunked-pass
-// property tests pin this.
+// tensor.SpMMRows/MatMulRows) and rows are independent — so any
+// duplicate-free partition of [0, nOut) reproduces Forward bit for bit; the
+// chunked-pass property tests pin this.
 func (l *SAGEConv) ForwardBegin(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix {
-	if h.Cols != l.InDim {
-		panic(fmt.Sprintf("nn: SAGEConv input dim %d, want %d", h.Cols, l.InDim))
-	}
-	if g.N != h.Rows {
-		panic(fmt.Sprintf("nn: SAGEConv graph has %d nodes, features %d rows", g.N, h.Rows))
-	}
-	if nOut > h.Rows || len(invDeg) < nOut {
-		panic(fmt.Sprintf("nn: SAGEConv nOut=%d rows=%d invDeg=%d", nOut, h.Rows, len(invDeg)))
-	}
+	l.checkForward(g, h, nOut, invDeg)
 	l.g, l.nOut, l.nAll, l.invDeg, l.hIn = g, nOut, h.Rows, invDeg, h
 	ensureMat(&l.concat, nOut, 2*l.InDim)
 	ensureMat(&l.pre, nOut, l.OutDim)
@@ -151,21 +163,10 @@ func (l *SAGEConv) ForwardPrepRows(rows []int32) {}
 func (l *SAGEConv) ForwardRows(rows []int32) {
 	in := l.InDim
 	h := l.hIn
+	tensor.SpMMRows(l.concat, h, l.g.Indptr, l.g.Indices, l.invDeg, rows)
 	for _, v32 := range rows {
 		v := int(v32)
-		row := l.concat.Row(v)
-		zrow := row[:in]
-		for j := range zrow {
-			zrow[j] = 0
-		}
-		for _, u := range l.g.Neighbors(int32(v)) {
-			tensor.AddTo(zrow, h.Data[int(u)*in:int(u)*in+in])
-		}
-		s := l.invDeg[v]
-		for j := range zrow {
-			zrow[j] *= s
-		}
-		copy(row[in:], h.Row(v))
+		copy(l.concat.Row(v)[in:], h.Row(v))
 	}
 	tensor.MatMulRows(l.pre, l.concat, l.W, rows)
 	for _, v32 := range rows {
@@ -175,6 +176,29 @@ func (l *SAGEConv) ForwardRows(rows []int32) {
 		}
 	}
 	activationRows(l.out, l.Act, l.pre, rows)
+}
+
+// addNeighborGrads accumulates the neighbor term of the input gradient for
+// every destination row in [destLo, destHi): dH.Row(u) += Σ invDeg[v]·dz_v
+// over the sources v with u ∈ N(v), in ascending source order. With an
+// aggregation plan this is a parallel gather over the transposed index;
+// without one it is the equivalent serial scatter — destinations still
+// receive contributions in ascending v because the sweep itself ascends.
+func (l *SAGEConv) addNeighborGrads(destLo, destHi int) {
+	in := l.InDim
+	if l.agg != nil {
+		tensor.SpMMTransRange(l.dH, l.dConcat, l.agg.IncIndptr, l.agg.IncSrc, l.invDeg, l.agg.IncChunks, destLo, destHi)
+		return
+	}
+	for v := 0; v < l.nOut; v++ {
+		s := l.invDeg[v]
+		dz := l.dConcat.Row(v)[:in]
+		for _, u := range l.g.Neighbors(int32(v)) {
+			if int(u) >= destLo && int(u) < destHi {
+				tensor.Axpy(l.dH.Data[int(u)*in:int(u)*in+in], dz, s)
+			}
+		}
+	}
 }
 
 // Backward consumes dOut (nOut × OutDim), accumulates DW/DB, and returns the
@@ -197,26 +221,17 @@ func (l *SAGEConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 		tensor.AddTo(l.DB.Row(0), dPre.Row(v))
 	}
 
-	// Input gradients.
+	// Input gradients: self terms first (a copy into the zeroed
+	// accumulator), then the neighbor gather in ascending source order.
 	in := l.InDim
 	dConcat := ensureMat(&l.dConcat, l.nOut, 2*in)
 	tensor.MatMulTransB(dConcat, dPre, l.W)
 	dH := ensureMat(&l.dH, l.nAll, in)
 	dH.Zero()
 	for v := 0; v < l.nOut; v++ {
-		drow := dConcat.Row(v)
-		dz := drow[:in]
-		// Self term.
-		tensor.AddTo(dH.Row(v), drow[in:])
-		// Neighbor terms: each u in N(v) receives invDeg[v] * dz.
-		s := l.invDeg[v]
-		if s == 0 {
-			continue
-		}
-		for _, u := range l.g.Neighbors(int32(v)) {
-			tensor.Axpy(dH.Data[int(u)*in:int(u)*in+in], dz, s)
-		}
+		copy(dH.Row(v), dConcat.Row(v)[in:])
 	}
+	l.addNeighborGrads(0, l.nAll)
 	return dH
 }
 
@@ -225,8 +240,9 @@ func (l *SAGEConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 // accumulator. The staged schedule (BackwardBegin → BackwardHalo →
 // BackwardFinish) reproduces the one-shot Backward bit for bit: a halo row
 // of the input gradient receives contributions only from outputs with a halo
-// neighbor, and an inner row only from the finish sweep, so every += lands
-// on each destination row in exactly the order of the unsplit sweep.
+// neighbor (ascending, like the full gather), and an inner row only from the
+// finish sweep (self copy, then ascending sources), so every accumulation
+// lands on each destination row in exactly the order of the unsplit pass.
 func (l *SAGEConv) BackwardBegin(dOut *tensor.Matrix) {
 	if dOut.Rows != l.nOut || dOut.Cols != l.OutDim {
 		panic(fmt.Sprintf("nn: SAGEConv backward shape %dx%d, want %dx%d", dOut.Rows, dOut.Cols, l.nOut, l.OutDim))
@@ -242,18 +258,22 @@ func (l *SAGEConv) BackwardBegin(dOut *tensor.Matrix) {
 // BackwardHalo completes the halo rows [nIn, nAll) of the input gradient so
 // they can be sent while the rest of the backward pass runs. haloSrc must
 // list, in ascending order, every output row with at least one neighbor
-// ≥ nIn; haloSlots is unused by SAGE (GAT needs it). The returned matrix is
-// the shared input-gradient accumulator: its rows ≥ nIn are final, rows
-// < nIn complete only after BackwardFinish.
+// ≥ nIn; haloSlots is the ascending list of halo rows whose gradients are
+// needed. The returned matrix is the shared input-gradient accumulator: its
+// rows ≥ nIn are final, rows < nIn complete only after BackwardFinish.
 func (l *SAGEConv) BackwardHalo(haloSrc, haloSlots []int32, nIn int) *tensor.Matrix {
 	tensor.MatMulTransBRows(l.dConcat, l.dPre, l.W, haloSrc)
 	in := l.InDim
+	if l.agg != nil {
+		// Every source of a halo destination has a halo neighbor, i.e. is in
+		// haloSrc — its dConcat row was just computed — so the row gather
+		// over the transposed index is complete and in ascending order.
+		tensor.SpMMTransRows(l.dH, l.dConcat, l.agg.IncIndptr, l.agg.IncSrc, l.invDeg, haloSlots)
+		return l.dH
+	}
 	for _, v32 := range haloSrc {
 		v := int(v32)
 		s := l.invDeg[v]
-		if s == 0 {
-			continue
-		}
 		dz := l.dConcat.Row(v)[:in]
 		for _, u := range l.g.Neighbors(v32) {
 			if int(u) >= nIn {
@@ -277,19 +297,9 @@ func (l *SAGEConv) BackwardFinish(freeSrc []int32, nIn int) *tensor.Matrix {
 	tensor.MatMulTransBRows(l.dConcat, l.dPre, l.W, freeSrc)
 	in := l.InDim
 	for v := 0; v < l.nOut; v++ {
-		drow := l.dConcat.Row(v)
-		tensor.AddTo(l.dH.Row(v), drow[in:]) // self term (v < nIn by construction)
-		s := l.invDeg[v]
-		if s == 0 {
-			continue
-		}
-		dz := drow[:in]
-		for _, u := range l.g.Neighbors(int32(v)) {
-			if int(u) < nIn {
-				tensor.Axpy(l.dH.Data[int(u)*in:int(u)*in+in], dz, s)
-			}
-		}
+		copy(l.dH.Row(v), l.dConcat.Row(v)[in:]) // self term (v < nIn by construction)
 	}
+	l.addNeighborGrads(0, nIn)
 	return l.dH
 }
 

@@ -15,20 +15,24 @@ const rowBlock = 64
 // maxProcs caps the number of worker goroutines used by parallel kernels.
 var maxProcs = runtime.GOMAXPROCS(0)
 
-// rowTask is one parallelRows invocation: workers claim contiguous chunks of
-// [0,rows) by advancing the atomic cursor, so there is no per-chunk lock.
+// rowTask is one parallelGrain invocation: workers claim contiguous chunks
+// of [0,rows), grain units at a time, by advancing the atomic cursor, so
+// there is no per-chunk lock. Dense kernels use rowBlock-unit grains; the
+// sparse-aggregation drivers claim single edge-balanced chunks (grain 1).
 type rowTask struct {
-	fn   func(lo, hi int)
-	rows int
-	next atomic.Int64
-	wg   sync.WaitGroup
+	fn    func(lo, hi int)
+	rows  int
+	grain int64
+	next  atomic.Int64
+	wg    sync.WaitGroup
 }
 
 func (t *rowTask) run() {
 	rows := t.rows
+	g := int(t.grain)
 	for {
-		hi := int(t.next.Add(rowBlock))
-		lo := hi - rowBlock
+		hi := int(t.next.Add(t.grain))
+		lo := hi - g
 		if lo >= rows {
 			return
 		}
@@ -65,17 +69,25 @@ func startWorkers() {
 // pool worker being free; helpers that arrive after the cursor is exhausted
 // return immediately. For tiny inputs or single-CPU processes it runs inline.
 func parallelRows(rows int, fn func(lo, hi int)) {
-	if rows <= rowBlock || maxProcs == 1 {
-		fn(0, rows)
+	parallelGrain(rows, rowBlock, fn)
+}
+
+// parallelGrain runs fn over [0,units) in grain-unit chunks claimed from an
+// atomic cursor on the persistent worker pool. Every unit is handed out
+// exactly once, so a kernel whose chunks write disjoint output rows is
+// deterministic regardless of which worker claims what.
+func parallelGrain(units, grain int, fn func(lo, hi int)) {
+	if units <= grain || maxProcs == 1 {
+		fn(0, units)
 		return
 	}
 	workerOnce.Do(startWorkers)
-	helpers := (rows+rowBlock-1)/rowBlock - 1
+	helpers := (units+grain-1)/grain - 1
 	if helpers > maxProcs-1 {
 		helpers = maxProcs - 1
 	}
 	t := taskPool.Get().(*rowTask)
-	t.fn, t.rows = fn, rows
+	t.fn, t.rows, t.grain = fn, units, int64(grain)
 	t.next.Store(0)
 	t.wg.Add(helpers)
 	for i := 0; i < helpers; i++ {
@@ -85,6 +97,30 @@ func parallelRows(rows int, fn func(lo, hi int)) {
 	t.wg.Wait()
 	t.fn = nil
 	taskPool.Put(t)
+}
+
+// Parallelism reports the kernel worker-pool width (GOMAXPROCS at init).
+// Callers use it to skip building parallel closures — which escape to the
+// heap — when the kernels would run inline anyway.
+func Parallelism() int { return maxProcs }
+
+// ParallelChunks runs fn(c) for every chunk index c in [0,n) on the shared
+// persistent kernel worker pool, one chunk claimed per cursor advance. The
+// caller's chunks must write disjoint outputs; then results are independent
+// of scheduling. Used by the graph layers to drive per-node sweeps over
+// edge-balanced chunk indexes (see SpMM for the matrix-level drivers).
+func ParallelChunks(n int, fn func(c int)) {
+	if n <= 1 || maxProcs == 1 {
+		for c := 0; c < n; c++ {
+			fn(c)
+		}
+		return
+	}
+	parallelGrain(n, 1, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			fn(c)
+		}
+	})
 }
 
 // ---- vector primitives ----
