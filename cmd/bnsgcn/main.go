@@ -26,6 +26,23 @@
 //	bnsgcn -dataset reddit -p 0.1 -world 4 -rendezvous host0:29500 -rank 1 &
 //	...
 //
+// With -checkpoint-dir the multi-process run becomes elastic: every rank
+// checkpoints atomically every -checkpoint-every epochs, a SIGKILLed rank's
+// survivors re-rendezvous (any rank can serve, not just rank 0) and resume
+// from the newest generation every rank holds, and a replacement process
+// started with -join in the dead rank's slot is re-admitted. Final weights
+// are bit-identical to an uninterrupted run:
+//
+//	# elastic: 4 local workers, checkpoint every 5 epochs
+//	bnsgcn -dataset reddit -p 0.1 -world 4 -checkpoint-dir /tmp/ckpt -spawn
+//
+//	# after rank 2 dies, re-admit a replacement into its slot:
+//	bnsgcn -dataset reddit -p 0.1 -world 4 -checkpoint-dir /tmp/ckpt -rank 2 -join
+//
+// Multi-host elastic runs list one rendezvous candidate per rank in a hosts
+// file (-hosts, one host[:port] per line) and set -listen-host to the
+// rank's externally reachable address.
+//
 // Every rank regenerates the dataset and partitioning from the shared seed,
 // so no input files need distributing; ranks only exchange boundary
 // features, gradients, and the weight AllReduce.
@@ -36,13 +53,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"os/exec"
+	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/datagen"
+	"repro/internal/elastic"
 	"repro/internal/partition"
 )
 
@@ -68,17 +89,33 @@ func main() {
 		overlap = flag.Bool("overlap", true, "pipelined epoch schedule: overlap halo communication with inner-node compute (bit-identical results; -overlap=false for the serialized baseline)")
 		drain   = flag.String("drain", "arrival", "overlapped drain order: arrival (complete whichever peer's halo data lands first) or rank (ascending rank order)")
 
-		rank  = flag.Int("rank", -1, "this process's rank in a multi-process run (requires -rendezvous)")
-		world = flag.Int("world", 0, "ranks in a multi-process run = partition count (requires -rendezvous)")
+		rank  = flag.Int("rank", -1, "this process's rank in a multi-process run (requires -rendezvous or -checkpoint-dir)")
+		world = flag.Int("world", 0, "ranks in a multi-process run = partition count (requires -rendezvous or -checkpoint-dir)")
 		rdv   = flag.String("rendezvous", "", "host:port rank 0 serves during bootstrap; enables the TCP transport")
 		spawn = flag.Bool("spawn", false, "launch -world local worker processes (one per partition) and wait")
+
+		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint directory; enables elastic fault-tolerant training (requires -world; every rank and any -join replacement must see the same directory)")
+		ckptEvery  = flag.Int("checkpoint-every", 5, "checkpoint cadence in epochs for elastic training")
+		join       = flag.Bool("join", false, "re-admit this process into a dead rank's slot: resume the -rank given from the shared -checkpoint-dir (the training loop is identical; the flag documents intent and is validated)")
+		hostsFile  = flag.String("hosts", "", "file with one rendezvous candidate per rank, host or host:port per line (# comments ok); default: loopback ports 29500+rank")
+		listenHost = flag.String("listen-host", "", "interface data listeners bind and advertise (default 127.0.0.1; multi-host runs must set this rank's reachable address)")
+		hbEvery    = flag.Duration("heartbeat-interval", 2*time.Second, "TCP heartbeat cadence for wedged-peer detection in elastic runs (0 disables; only closed connections are then detected)")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "silence after which a peer is declared wedged (0 = 4x heartbeat-interval)")
+		maxRecover = flag.Int("max-recoveries", 5, "peer deaths an elastic rank absorbs before giving up")
 	)
 	flag.Parse()
 
-	distributed := *rdv != ""
+	elasticMode := *ckptDir != ""
+	if *join && !elasticMode {
+		fatal(fmt.Errorf("-join requires -checkpoint-dir: a replacement resumes from the cohort's shared checkpoints"))
+	}
+	if elasticMode && *rdv != "" {
+		fatal(fmt.Errorf("-checkpoint-dir and -rendezvous are mutually exclusive: elastic runs use the per-rank candidate rendezvous (-hosts), which survives rank 0's death"))
+	}
+	distributed := *rdv != "" || elasticMode
 	if distributed {
 		if *world < 1 {
-			fatal(fmt.Errorf("-rendezvous requires -world >= 1, got %d", *world))
+			fatal(fmt.Errorf("multi-process training requires -world >= 1, got %d", *world))
 		}
 		*k = *world // one partition per process
 		if *spawn {
@@ -86,6 +123,13 @@ func main() {
 		}
 		if *rank < 0 || *rank >= *world {
 			fatal(fmt.Errorf("-rank %d outside [0,%d); pass -spawn to launch all ranks", *rank, *world))
+		}
+	}
+	var cands []string
+	if elasticMode {
+		var err error
+		if cands, err = rendezvousCandidates(*hostsFile, *world); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -163,9 +207,24 @@ func main() {
 	pcfg := core.ParallelConfig{Model: mc, P: *p, SampleSeed: *seed + 1, Schedule: sched}
 
 	if distributed {
+		if elasticMode {
+			if *join {
+				fmt.Printf("rank %d rejoining elastic cohort from %s\n", *rank, *ckptDir)
+			}
+			logf("training %s (%d layers, %d hidden) for %d epochs at p=%.2g on %d elastic processes over TCP (checkpoints every %d epochs in %s)\n\n",
+				*arch, *layers, *hidden, *epochs, *p, *world, *ckptEvery, *ckptDir)
+			trainElastic(ds, topo, pcfg, elastic.RunnerConfig{
+				Config: elastic.Config{
+					Dir: *ckptDir, Every: *ckptEvery, Epochs: *epochs, MaxRecoveries: *maxRecover,
+				},
+				Rank: *rank, World: *world, Candidates: cands, ListenHost: *listenHost,
+				HeartbeatInterval: *hbEvery, HeartbeatTimeout: *hbTimeout,
+			}, *every)
+			return
+		}
 		logf("training %s (%d layers, %d hidden) for %d epochs at p=%.2g on %d processes over TCP\n\n",
 			*arch, *layers, *hidden, *epochs, *p, *world)
-		trainDistributed(ds, topo, pcfg, *rank, *world, *rdv, *epochs, *every)
+		trainDistributed(ds, topo, pcfg, *rank, *world, *rdv, *listenHost, *epochs, *every)
 		return
 	}
 
@@ -187,14 +246,78 @@ func main() {
 	fmt.Printf("\nfinal: val %.4f  test %.4f\n", tr.Evaluate(ds.ValMask), tr.Evaluate(ds.TestMask))
 }
 
+// rendezvousCandidates builds the per-rank elastic rendezvous candidate
+// list: from a hosts file (one host or host:port per line, # comments and
+// blank lines skipped) or, absent one, loopback ports 29500+rank. Lines
+// without a port get 29500+rank so a plain list of hostnames works.
+func rendezvousCandidates(hostsFile string, world int) ([]string, error) {
+	const basePort = 29500
+	if hostsFile == "" {
+		return elastic.LoopbackCandidates("127.0.0.1", basePort, world), nil
+	}
+	data, err := os.ReadFile(hostsFile)
+	if err != nil {
+		return nil, fmt.Errorf("-hosts: %w", err)
+	}
+	var hosts []string
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		hosts = append(hosts, line)
+	}
+	if len(hosts) != world {
+		return nil, fmt.Errorf("-hosts %s lists %d ranks, -world is %d", hostsFile, len(hosts), world)
+	}
+	for r, h := range hosts {
+		if !strings.Contains(h, ":") {
+			hosts[r] = net.JoinHostPort(h, strconv.Itoa(basePort+r))
+		}
+	}
+	return hosts, nil
+}
+
+// trainElastic runs this process's single rank under the elastic recovery
+// loop: periodic atomic checkpoints, peer-death detection, re-rendezvous,
+// and resume — bit-identical to an uninterrupted run.
+func trainElastic(ds *datagen.Dataset, topo *core.Topology, pcfg core.ParallelConfig,
+	rc elastic.RunnerConfig, every int) {
+	rank := rc.Rank
+	rc.NewTrainer = func(r int) (*core.RankTrainer, error) {
+		return core.NewRankTrainer(ds, topo, pcfg, r)
+	}
+	// The display loss here is this rank's share (the elastic loop owns the
+	// transport, so the CLI cannot piggyback a display AllReduce); the test
+	// score is global — replicas are identical after each epoch's reduce.
+	rc.OnEpoch = func(rt *core.RankTrainer, st core.RankStats) {
+		if rank == 0 && every > 0 && rt.Epoch()%every == 0 {
+			fmt.Printf("epoch %4d  loss(rank 0 share) %.4f  (sample %s, comm %s exposed %s, reduce %s)  test %.4f\n",
+				rt.Epoch(), st.Loss, st.Sample.Round(1e5), st.Comm.Round(1e5), st.CommExposed.Round(1e5),
+				st.Reduce.Round(1e5), rt.Evaluate(ds.TestMask))
+		}
+	}
+	rt, rep, err := elastic.Run(rc)
+	if err != nil {
+		fatal(err)
+	}
+	if rep.Recoveries > 0 {
+		fmt.Printf("rank %d absorbed %d peer death(s); resumed from generation(s) %v\n",
+			rank, rep.Recoveries, rep.StartGens[1:])
+	}
+	if rank == 0 {
+		fmt.Printf("\nfinal: val %.4f  test %.4f\n", rt.Evaluate(ds.ValMask), rt.Evaluate(ds.TestMask))
+	}
+}
+
 // trainDistributed runs this process's single rank over the TCP transport.
 func trainDistributed(ds *datagen.Dataset, topo *core.Topology, pcfg core.ParallelConfig,
-	rank, world int, rdv string, epochs, every int) {
+	rank, world int, rdv, listenHost string, epochs, every int) {
 	rt, err := core.NewRankTrainer(ds, topo, pcfg, rank)
 	if err != nil {
 		fatal(err)
 	}
-	tp, err := comm.DialTCP(comm.TCPConfig{Rank: rank, World: world, Rendezvous: rdv})
+	tp, err := comm.DialTCP(comm.TCPConfig{Rank: rank, World: world, Rendezvous: rdv, ListenHost: listenHost})
 	if err != nil {
 		fatal(err)
 	}

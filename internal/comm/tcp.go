@@ -19,6 +19,7 @@ const (
 	tagBarrierEnter = tagReservedBase + 0
 	tagBarrierLeave = tagReservedBase + 1
 	tagBye          = tagReservedBase + 2
+	tagHeartbeat    = tagReservedBase + 3
 )
 
 // TransportError is the panic value raised by TCPTransport operations once
@@ -55,8 +56,23 @@ type TCPConfig struct {
 	// Timeout bounds the whole bootstrap (rendezvous plus mesh dial);
 	// default 30s. After bootstrap, failure detection is event-driven: a
 	// dying peer resets its TCP connections, which every surviving rank
-	// observes directly (the mesh is fully connected).
+	// observes directly (the mesh is fully connected). HeartbeatTimeout
+	// adds detection for peers that are wedged rather than dead.
 	Timeout time.Duration
+	// HeartbeatInterval, when positive, makes the endpoint emit a control
+	// heartbeat frame to every peer on that cadence so idle links carry
+	// traffic. Heartbeats are excluded from payload byte accounting.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout, when positive, arms the wedged-peer detector: if no
+	// frame (data or heartbeat) arrives from a peer for this long, the
+	// transport fails with a pointed error — catching a peer that is alive
+	// at the TCP level but stuck (deadlocked, paused, partitioned), which a
+	// connection reset would never report. Every rank of a mesh must agree
+	// on heartbeat settings, and HeartbeatTimeout should be several
+	// intervals (default 4×HeartbeatInterval when only the interval is
+	// set). Zero on both fields — the default — disables the machinery
+	// entirely, preserving the event-driven-only behavior.
+	HeartbeatTimeout time.Duration
 	// RendezvousListener, if non-nil, is a pre-bound listener rank 0 uses
 	// instead of listening on Rendezvous — this removes pick-a-free-port
 	// races in tests. DialTCP takes ownership and closes it.
@@ -118,6 +134,17 @@ type TCPTransport struct {
 	queueCap    int
 	peers       []*tcpPeer // indexed by rank; nil at own slot
 
+	// Heartbeat machinery (zero when disabled): hbInterval drives the
+	// sender goroutine, hbTimeout arms the per-connection read deadline
+	// that declares a silent peer wedged. hbStop is closed (once) by Close
+	// so the sender goroutine is provably gone before the send queues are
+	// closed out from under it.
+	hbInterval time.Duration
+	hbTimeout  time.Duration
+	hbStop     chan struct{}
+	hbStopOn   sync.Once
+	hbWG       sync.WaitGroup
+
 	bytesSent atomic.Int64
 	msgsSent  atomic.Int64
 	wireSent  atomic.Int64
@@ -152,28 +179,9 @@ type TCPTransport struct {
 // and then each pair establishes one duplex connection (the higher rank
 // dials the lower). DialTCP returns once all world−1 connections are up.
 func DialTCP(cfg TCPConfig) (*TCPTransport, error) {
-	if cfg.World <= 0 {
-		return nil, fmt.Errorf("comm: world size %d", cfg.World)
-	}
-	if cfg.Rank < 0 || cfg.Rank >= cfg.World {
-		return nil, fmt.Errorf("comm: rank %d out of [0,%d)", cfg.Rank, cfg.World)
-	}
-	if cfg.QueueCap <= 0 {
-		cfg.QueueCap = defaultQueueCap
-	}
-	if cfg.Timeout <= 0 {
-		cfg.Timeout = 30 * time.Second
-	}
-	if cfg.ListenHost == "" {
-		cfg.ListenHost = "127.0.0.1"
-	}
-	t := &TCPTransport{
-		rank:     cfg.Rank,
-		world:    cfg.World,
-		queueCap: cfg.QueueCap,
-		peers:    make([]*tcpPeer, cfg.World),
-		closeCh:  make(chan struct{}),
-		failCh:   make(chan struct{}),
+	t, err := newTCPTransport(&cfg)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.World == 1 || cfg.Rank != 0 {
 		if cfg.RendezvousListener != nil {
@@ -195,14 +203,75 @@ func DialTCP(cfg TCPConfig) (*TCPTransport, error) {
 	if err != nil {
 		return nil, err
 	}
+	return t, t.finishDial(cfg, dataLn, addrs, deadline)
+}
 
+// DialTCPMesh establishes the full mesh from an already-agreed address
+// table, skipping the rendezvous phase: addrs[r] must be rank r's data
+// listener address, and dataLn must be the listener this rank advertised as
+// addrs[cfg.Rank]. It is the re-admission entry point the elastic recovery
+// loop uses — after a generation-bumped rendezvous has produced a fresh
+// table, every participant (survivor or replacement) meshes through here.
+// The listener is closed before returning, like DialTCP's.
+func DialTCPMesh(cfg TCPConfig, dataLn net.Listener, addrs []string) (*TCPTransport, error) {
+	t, err := newTCPTransport(&cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(addrs) != cfg.World {
+		return nil, fmt.Errorf("comm: rank %d: address table has %d entries, world is %d",
+			cfg.Rank, len(addrs), cfg.World)
+	}
+	defer dataLn.Close()
+	if cfg.World == 1 {
+		return t, nil
+	}
+	return t, t.finishDial(cfg, dataLn, addrs, time.Now().Add(cfg.Timeout))
+}
+
+// newTCPTransport validates and normalizes cfg and builds the empty endpoint.
+func newTCPTransport(cfg *TCPConfig) (*TCPTransport, error) {
+	if cfg.World <= 0 {
+		return nil, fmt.Errorf("comm: world size %d", cfg.World)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.World {
+		return nil, fmt.Errorf("comm: rank %d out of [0,%d)", cfg.Rank, cfg.World)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = defaultQueueCap
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.ListenHost == "" {
+		cfg.ListenHost = "127.0.0.1"
+	}
+	if cfg.HeartbeatInterval > 0 && cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = 4 * cfg.HeartbeatInterval
+	}
+	return &TCPTransport{
+		rank:       cfg.Rank,
+		world:      cfg.World,
+		queueCap:   cfg.QueueCap,
+		peers:      make([]*tcpPeer, cfg.World),
+		hbInterval: cfg.HeartbeatInterval,
+		hbTimeout:  cfg.HeartbeatTimeout,
+		hbStop:     make(chan struct{}),
+		closeCh:    make(chan struct{}),
+		failCh:     make(chan struct{}),
+	}, nil
+}
+
+// finishDial connects the mesh over an agreed address table and starts the
+// per-peer service goroutines plus the heartbeat sender.
+func (t *TCPTransport) finishDial(cfg TCPConfig, dataLn net.Listener, addrs []string, deadline time.Time) error {
 	if err := t.connectMesh(cfg, dataLn, addrs, deadline); err != nil {
 		for _, p := range t.peers {
 			if p != nil {
 				p.conn.Close()
 			}
 		}
-		return nil, err
+		return err
 	}
 	for _, p := range t.peers {
 		if p != nil {
@@ -212,11 +281,69 @@ func DialTCP(cfg TCPConfig) (*TCPTransport, error) {
 			go t.writeLoop(p)
 		}
 	}
-	return t, nil
+	if t.hbInterval > 0 {
+		t.hbWG.Add(1)
+		go t.heartbeatLoop()
+	}
+	return nil
+}
+
+// heartbeatLoop emits a control heartbeat to every peer each interval so
+// idle links still carry traffic for the wedged-peer detector on the other
+// side. It exits on Close (hbStop) or transport failure; isend's failure
+// panic is absorbed, since the failure is already recorded.
+func (t *TCPTransport) heartbeatLoop() {
+	defer t.hbWG.Done()
+	tick := time.NewTicker(t.hbInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+		case <-t.hbStop:
+			return
+		case <-t.failCh:
+			return
+		}
+		for _, p := range t.peers {
+			if p == nil {
+				continue
+			}
+			// Heartbeats bypass isend: the per-peer enqSeq is owned by the
+			// rank's goroutine, so the sender enqueues an untracked frame
+			// (seq 0 — the writer skips completion bookkeeping for it). A
+			// full send queue means data is already flowing, which is all a
+			// heartbeat would prove; skip rather than block.
+			buf, err := appendFrameBytes(t.wireBufs.get(frameHeaderSize)[:0], tagHeartbeat, dtypeCtrl, nil)
+			if err != nil {
+				t.wireBufs.put(buf)
+				continue
+			}
+			select {
+			case p.sendQ <- outMsg{buf: buf}:
+			default:
+				t.wireBufs.put(buf)
+			}
+		}
+	}
+}
+
+// stopHeartbeats halts the heartbeat sender and waits for it; safe to call
+// multiple times and from concurrent closers.
+func (t *TCPTransport) stopHeartbeats() {
+	t.hbStopOn.Do(func() { close(t.hbStop) })
+	t.hbWG.Wait()
 }
 
 // rendezvous exchanges (rank, dataAddr) registrations for the full address
-// table. Rank 0 serves; other ranks dial with retry until rank 0 is up.
+// table. Rank 0 serves; other ranks dial with capped exponential backoff
+// until rank 0 is up or the deadline expires.
+//
+// The server is hardened against misconfigured clients: an out-of-range
+// rank gets a pointed "ERR ..." reply and its connection closed, without
+// aborting the round — the correctly configured cohort still bootstraps. A
+// re-registration of a rank whose earlier connection is still held (a
+// client that timed out and redialed, or a recovering rank rejoining across
+// generations) replaces the stale registration instead of wedging.
 func rendezvous(cfg TCPConfig, myAddr string, deadline time.Time) ([]string, error) {
 	if cfg.Rank == 0 {
 		ln := cfg.RendezvousListener
@@ -233,32 +360,49 @@ func rendezvous(cfg TCPConfig, myAddr string, deadline time.Time) ([]string, err
 		}
 		addrs := make([]string, cfg.World)
 		addrs[0] = myAddr
-		conns := make([]net.Conn, 0, cfg.World-1)
+		conns := make([]net.Conn, cfg.World) // live registration conn per rank
+		registered := 0
 		defer func() {
 			for _, c := range conns {
-				c.Close()
+				if c != nil {
+					c.Close()
+				}
 			}
 		}()
-		for i := 0; i < cfg.World-1; i++ {
+		for registered < cfg.World-1 {
 			conn, err := ln.Accept()
 			if err != nil {
 				return nil, fmt.Errorf("comm: rank 0: rendezvous accept (%d of %d ranks registered): %w",
-					i, cfg.World-1, err)
+					registered, cfg.World-1, err)
 			}
 			conn.SetDeadline(deadline)
-			conns = append(conns, conn)
 			var r int
 			var addr string
 			if _, err := fmt.Fscanf(bufio.NewReader(conn), "HELLO %d %s\n", &r, &addr); err != nil {
-				return nil, fmt.Errorf("comm: rank 0: bad rendezvous hello: %w", err)
+				fmt.Fprintf(conn, "ERR malformed rendezvous hello: %v\n", err)
+				conn.Close()
+				continue
 			}
-			if r <= 0 || r >= cfg.World || addrs[r] != "" {
-				return nil, fmt.Errorf("comm: rank 0: rendezvous hello from invalid or duplicate rank %d", r)
+			if r <= 0 || r >= cfg.World {
+				fmt.Fprintf(conn, "ERR rank %d outside [1,%d) — check -rank/-world against the cohort\n", r, cfg.World)
+				conn.Close()
+				continue
 			}
+			if conns[r] != nil {
+				// Replace the stale registration: the old connection belongs
+				// to a client that gave up or died; the latest dialer wins.
+				conns[r].Close()
+				registered--
+			}
+			conns[r] = conn
 			addrs[r] = addr
+			registered++
 		}
 		table := "ADDRS " + strings.Join(addrs, " ") + "\n"
 		for _, c := range conns {
+			if c == nil {
+				continue
+			}
 			if _, err := c.Write([]byte(table)); err != nil {
 				return nil, fmt.Errorf("comm: rank 0: rendezvous broadcast: %w", err)
 			}
@@ -266,17 +410,9 @@ func rendezvous(cfg TCPConfig, myAddr string, deadline time.Time) ([]string, err
 		return addrs, nil
 	}
 
-	var conn net.Conn
-	for {
-		var err error
-		conn, err = net.DialTimeout("tcp", cfg.Rendezvous, time.Until(deadline))
-		if err == nil {
-			break
-		}
-		if time.Now().After(deadline) {
-			return nil, fmt.Errorf("comm: rank %d: rendezvous %s unreachable: %w", cfg.Rank, cfg.Rendezvous, err)
-		}
-		time.Sleep(20 * time.Millisecond) // rank 0 may not be listening yet
+	conn, err := dialRetry(cfg.Rendezvous, cfg.Rank, deadline)
+	if err != nil {
+		return nil, fmt.Errorf("comm: rank %d: rendezvous %s unreachable: %w", cfg.Rank, cfg.Rendezvous, err)
 	}
 	defer conn.Close()
 	conn.SetDeadline(deadline)
@@ -287,11 +423,51 @@ func rendezvous(cfg TCPConfig, myAddr string, deadline time.Time) ([]string, err
 	if err != nil {
 		return nil, fmt.Errorf("comm: rank %d: rendezvous table: %w", cfg.Rank, err)
 	}
+	if msg, ok := strings.CutPrefix(line, "ERR "); ok {
+		return nil, fmt.Errorf("comm: rank %d: rendezvous rejected registration: %s", cfg.Rank, strings.TrimSpace(msg))
+	}
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) != cfg.World+1 || fields[0] != "ADDRS" {
 		return nil, fmt.Errorf("comm: rank %d: malformed rendezvous table %q", cfg.Rank, line)
 	}
 	return fields[1:], nil
+}
+
+// dialRetry dials addr with capped exponential backoff plus deterministic
+// jitter until the overall deadline: the first attempts are near-immediate
+// (rank 0 is usually a few milliseconds behind), later ones spread out so a
+// large cohort hammering a not-yet-up rendezvous backs off instead of
+// spinning. The per-rank jitter stream keeps retries from synchronizing
+// without making bootstrap timing nondeterministic across runs.
+func dialRetry(addr string, rank int, deadline time.Time) (net.Conn, error) {
+	const (
+		baseDelay = 10 * time.Millisecond
+		maxDelay  = 640 * time.Millisecond
+	)
+	delay := baseDelay
+	jseq := uint64(0)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		// Sleep delay/2 + jitter in [0, delay/2): full backoff spread, never
+		// past the deadline.
+		jseq++
+		sleep := delay/2 + time.Duration(jitterHash(uint64(rank), rank, 0, 0, jseq)%uint64(delay/2+1))
+		if until := time.Until(deadline); sleep > until {
+			sleep = until
+		}
+		if sleep > 0 {
+			time.Sleep(sleep)
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
 }
 
 // connectMesh establishes one duplex connection per peer pair: this rank
@@ -469,17 +645,33 @@ func (t *TCPTransport) readFramePooled(r io.Reader) (frame, error) {
 	return frame{tag: tag, dtype: dtype, payload: payload}, nil
 }
 
-// readLoop demultiplexes one peer connection into per-tag queues.
+// readLoop demultiplexes one peer connection into per-tag queues. With the
+// wedged-peer detector armed (hbTimeout > 0) every frame read carries a
+// read deadline: a peer that stays connected but silent — no data, no
+// heartbeats — for hbTimeout is declared dead with a pointed error, the
+// failure a connection reset can never report.
 func (t *TCPTransport) readLoop(p *tcpPeer) {
 	defer t.readers.Done()
 	for {
+		if t.hbTimeout > 0 {
+			p.conn.SetReadDeadline(time.Now().Add(t.hbTimeout))
+		}
 		fr, err := t.readFramePooled(p.br)
 		if err != nil {
 			if t.closed.Load() {
 				return // local Close is tearing the connection down
 			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				t.fail(fmt.Errorf("peer %d is wedged: no frames or heartbeats for %v (process alive but stuck, or network partitioned)",
+					p.rank, t.hbTimeout))
+				return
+			}
 			t.fail(fmt.Errorf("peer %d is gone: %v (process died or connection lost mid-epoch)", p.rank, err))
 			return
+		}
+		if fr.dtype == dtypeCtrl && fr.tag == tagHeartbeat {
+			t.recvBufs.put(fr.payload) // liveness only; the deadline reset above is the point
+			continue
 		}
 		if fr.dtype == dtypeCtrl && fr.tag == tagBye {
 			t.recvBufs.put(fr.payload)
@@ -589,6 +781,9 @@ func (t *TCPTransport) writeLoop(p *tcpPeer) {
 			return
 		}
 		t.wireBufs.put(msg.buf)
+		if msg.seq == 0 {
+			continue // untracked control frame (heartbeat): no waiter to wake
+		}
 		p.wmu.Lock()
 		p.writtenSeq = msg.seq
 		p.wcond.Broadcast()
@@ -781,10 +976,14 @@ func (t *TCPTransport) ResetCounters() {
 // reaped. Close after a failure returns the recorded error.
 func (t *TCPTransport) Close() error {
 	if t.closed.Swap(true) {
+		t.stopHeartbeats()
 		t.readers.Wait()
 		t.writers.Wait()
 		return t.Err()
 	}
+	// The heartbeat sender must be provably stopped before the send queues
+	// are closed out from under it (send on closed channel would panic).
+	t.stopHeartbeats()
 	if t.Err() == nil {
 		for r := range t.peers {
 			if t.peers[r] == nil {

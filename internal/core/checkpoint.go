@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 
@@ -24,7 +25,10 @@ import (
 //     silently resets the optimizer moments and the RNG streams, so a
 //     resumed run diverges from an uninterrupted one; the trainer format
 //     exists so that train(N) ≡ train(k) + save + load + train(N−k), bit
-//     for bit (the resume-equivalence test pins this).
+//     for bit (the resume-equivalence test pins this). Version 2 appends a
+//     CRC-32 (IEEE) of every preceding byte, so a torn or bit-rotted file
+//     is rejected outright and an elastic recovery falls back a generation
+//     instead of resuming from garbage.
 //
 // The architecture and every matrix shape are stored so a mismatched load
 // fails loudly instead of silently misassigning state.
@@ -32,9 +36,38 @@ import (
 const (
 	ckptMagic        = uint32(0x424E5343) // "BNSC": model weights only
 	ckptTrainerMagic = uint32(0x424E5354) // "BNST": full resumable trainer state
-	ckptTrainerVer   = uint32(1)
+	ckptTrainerVer   = uint32(2)
 	optKindAdam      = uint32(1)
 )
+
+// crcWriter hashes everything written through it. It sits ABOVE the
+// buffered writer so the checksum covers exactly the bytes the format
+// defines, and the trailing CRC itself is written to the underlying writer
+// unhashed.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// crcReader hashes everything read through it. It must wrap the
+// bufio.Reader (not the raw file): hashing below the buffer would fold the
+// read-ahead — including the stored CRC bytes themselves — into the sum.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (cr *crcReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.crc = crc32.Update(cr.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
 
 // SaveCheckpoint writes the model's configuration and parameters to w.
 func SaveCheckpoint(w io.Writer, m *Model) error {
@@ -66,8 +99,9 @@ func LoadCheckpoint(r io.Reader, m *Model) error {
 }
 
 // writeModelSection writes the config header, arch string, and parameter
-// matrices — the section both checkpoint formats share.
-func writeModelSection(bw *bufio.Writer, m *Model) error {
+// matrices — the section both checkpoint formats share. It takes a plain
+// io.Writer so the trainer format can thread a crcWriter through it.
+func writeModelSection(bw io.Writer, m *Model) error {
 	header := []int64{
 		int64(len(m.Config.Arch)),
 		int64(m.Config.Layers),
@@ -78,7 +112,7 @@ func writeModelSection(bw *bufio.Writer, m *Model) error {
 	if err := binary.Write(bw, binary.LittleEndian, header); err != nil {
 		return fmt.Errorf("core: checkpoint header: %w", err)
 	}
-	if _, err := bw.WriteString(string(m.Config.Arch)); err != nil {
+	if _, err := io.WriteString(bw, string(m.Config.Arch)); err != nil {
 		return err
 	}
 	params := m.Params()
@@ -90,7 +124,7 @@ func writeModelSection(bw *bufio.Writer, m *Model) error {
 
 // readModelSection validates the config header against m and reads the
 // parameter matrices into it.
-func readModelSection(br *bufio.Reader, m *Model) error {
+func readModelSection(br io.Reader, m *Model) error {
 	if err := readModelHeader(br, m); err != nil {
 		return err
 	}
@@ -99,7 +133,7 @@ func readModelSection(br *bufio.Reader, m *Model) error {
 
 // readModelHeader validates the config header and parameter count against m
 // without touching any weights.
-func readModelHeader(br *bufio.Reader, m *Model) error {
+func readModelHeader(br io.Reader, m *Model) error {
 	header := make([]int64, 5)
 	if err := binary.Read(br, binary.LittleEndian, header); err != nil {
 		return fmt.Errorf("core: checkpoint header: %w", err)
@@ -128,7 +162,7 @@ func readModelHeader(br *bufio.Reader, m *Model) error {
 }
 
 // writeMats writes each matrix as (rows, cols, data).
-func writeMats(bw *bufio.Writer, mats []*tensor.Matrix, what string) error {
+func writeMats(bw io.Writer, mats []*tensor.Matrix, what string) error {
 	for i, p := range mats {
 		if err := binary.Write(bw, binary.LittleEndian, int64(p.Rows)); err != nil {
 			return fmt.Errorf("core: checkpoint %s %d: %w", what, i, err)
@@ -144,7 +178,7 @@ func writeMats(bw *bufio.Writer, mats []*tensor.Matrix, what string) error {
 }
 
 // readMats reads matrices written by writeMats into mats, validating shapes.
-func readMats(br *bufio.Reader, mats []*tensor.Matrix, what string) error {
+func readMats(br io.Reader, mats []*tensor.Matrix, what string) error {
 	for i, p := range mats {
 		var rows, cols int64
 		if err := binary.Read(br, binary.LittleEndian, &rows); err != nil {
@@ -175,42 +209,47 @@ func SaveTrainerCheckpoint(w io.Writer, rt *RankTrainer) error {
 		return fmt.Errorf("core: trainer checkpoint supports Adam, trainer uses %T", rt.opt)
 	}
 	bw := bufio.NewWriter(w)
-	if err := binary.Write(bw, binary.LittleEndian, ckptTrainerMagic); err != nil {
+	cw := &crcWriter{w: bw}
+	if err := binary.Write(cw, binary.LittleEndian, ckptTrainerMagic); err != nil {
 		return fmt.Errorf("core: trainer checkpoint magic: %w", err)
 	}
-	if err := binary.Write(bw, binary.LittleEndian, ckptTrainerVer); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, ckptTrainerVer); err != nil {
 		return fmt.Errorf("core: trainer checkpoint version: %w", err)
 	}
-	if err := writeModelSection(bw, rt.Model); err != nil {
+	if err := writeModelSection(cw, rt.Model); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, int64(rt.epoch)); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, int64(rt.epoch)); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, rt.rng.State()); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, rt.rng.State()); err != nil {
 		return err
 	}
 	drops := rt.Model.Dropouts
-	if err := binary.Write(bw, binary.LittleEndian, int64(len(drops))); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, int64(len(drops))); err != nil {
 		return err
 	}
 	for _, d := range drops {
-		if err := binary.Write(bw, binary.LittleEndian, d.RNGState()); err != nil {
+		if err := binary.Write(cw, binary.LittleEndian, d.RNGState()); err != nil {
 			return err
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, optKindAdam); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, optKindAdam); err != nil {
 		return err
 	}
-	if err := binary.Write(bw, binary.LittleEndian, int64(adam.StepCount())); err != nil {
+	if err := binary.Write(cw, binary.LittleEndian, int64(adam.StepCount())); err != nil {
 		return err
 	}
 	m, v := adam.Moments(rt.Model.Params())
-	if err := writeMats(bw, m, "adam.m"); err != nil {
+	if err := writeMats(cw, m, "adam.m"); err != nil {
 		return err
 	}
-	if err := writeMats(bw, v, "adam.v"); err != nil {
+	if err := writeMats(cw, v, "adam.v"); err != nil {
 		return err
+	}
+	// Trailing checksum of everything above, written unhashed.
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return fmt.Errorf("core: trainer checkpoint checksum: %w", err)
 	}
 	return bw.Flush()
 }
@@ -225,8 +264,9 @@ func LoadTrainerCheckpoint(r io.Reader, rt *RankTrainer) error {
 		return fmt.Errorf("core: trainer checkpoint supports Adam, trainer uses %T", rt.opt)
 	}
 	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
 	var magic, ver uint32
-	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &magic); err != nil {
 		return fmt.Errorf("core: trainer checkpoint magic: %w", err)
 	}
 	if magic == ckptMagic {
@@ -235,7 +275,7 @@ func LoadTrainerCheckpoint(r io.Reader, rt *RankTrainer) error {
 	if magic != ckptTrainerMagic {
 		return fmt.Errorf("core: bad trainer checkpoint magic %#x", magic)
 	}
-	if err := binary.Read(br, binary.LittleEndian, &ver); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &ver); err != nil {
 		return fmt.Errorf("core: trainer checkpoint version: %w", err)
 	}
 	if ver != ckptTrainerVer {
@@ -243,25 +283,25 @@ func LoadTrainerCheckpoint(r io.Reader, rt *RankTrainer) error {
 	}
 	// Stage every matrix read so a truncated or corrupt file cannot leave a
 	// half-restored trainer: the live weights and moments are only written
-	// after the whole stream has been read and validated.
+	// after the whole stream has been read, checksummed, and validated.
 	params := rt.Model.Params()
-	if err := readModelHeader(br, rt.Model); err != nil {
+	if err := readModelHeader(cr, rt.Model); err != nil {
 		return err
 	}
 	stageParams := stageLike(params)
-	if err := readMats(br, stageParams, "param"); err != nil {
+	if err := readMats(cr, stageParams, "param"); err != nil {
 		return err
 	}
 	var epoch int64
-	if err := binary.Read(br, binary.LittleEndian, &epoch); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &epoch); err != nil {
 		return err
 	}
 	var rngState uint64
-	if err := binary.Read(br, binary.LittleEndian, &rngState); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &rngState); err != nil {
 		return err
 	}
 	var nDrops int64
-	if err := binary.Read(br, binary.LittleEndian, &nDrops); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &nDrops); err != nil {
 		return err
 	}
 	drops := rt.Model.Dropouts
@@ -269,27 +309,37 @@ func LoadTrainerCheckpoint(r io.Reader, rt *RankTrainer) error {
 		return fmt.Errorf("core: trainer checkpoint has %d dropout streams, model has %d", nDrops, len(drops))
 	}
 	dropStates := make([]uint64, nDrops)
-	if err := binary.Read(br, binary.LittleEndian, dropStates); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, dropStates); err != nil {
 		return err
 	}
 	var optKind uint32
-	if err := binary.Read(br, binary.LittleEndian, &optKind); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &optKind); err != nil {
 		return err
 	}
 	if optKind != optKindAdam {
 		return fmt.Errorf("core: trainer checkpoint optimizer kind %d, trainer uses Adam (%d)", optKind, optKindAdam)
 	}
 	var stepCount int64
-	if err := binary.Read(br, binary.LittleEndian, &stepCount); err != nil {
+	if err := binary.Read(cr, binary.LittleEndian, &stepCount); err != nil {
 		return err
 	}
 	stageM := stageLike(params)
 	stageV := stageLike(params)
-	if err := readMats(br, stageM, "adam.m"); err != nil {
+	if err := readMats(cr, stageM, "adam.m"); err != nil {
 		return err
 	}
-	if err := readMats(br, stageV, "adam.v"); err != nil {
+	if err := readMats(cr, stageV, "adam.v"); err != nil {
 		return err
+	}
+	// The stored CRC is read from the buffered reader directly — it is not
+	// part of its own sum. Any truncation, bit flip, or torn write between
+	// the magic and here lands in this comparison.
+	var storedCRC uint32
+	if err := binary.Read(br, binary.LittleEndian, &storedCRC); err != nil {
+		return fmt.Errorf("core: trainer checkpoint checksum: %w (truncated file?)", err)
+	}
+	if storedCRC != cr.crc {
+		return fmt.Errorf("core: trainer checkpoint checksum mismatch (stored %#x, computed %#x): truncated or corrupted file", storedCRC, cr.crc)
 	}
 
 	// Every read succeeded; commit the whole state at once.
@@ -320,17 +370,84 @@ func stageLike(mats []*tensor.Matrix) []*tensor.Matrix {
 	return out
 }
 
-// SaveTrainerCheckpointFile writes a trainer checkpoint to path.
+// SaveTrainerCheckpointFile writes a trainer checkpoint to path atomically:
+// the bytes land in path+".tmp", are synced, and are renamed into place
+// only once complete. A crash at any point leaves either the previous
+// checkpoint intact or a stray .tmp file — never a torn file under the
+// final name — which is what lets elastic recovery trust the newest
+// generation it finds on disk.
 func SaveTrainerCheckpointFile(path string, rt *RankTrainer) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := SaveTrainerCheckpoint(f, rt); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// VerifyTrainerCheckpointFile checks that path holds a complete, intact
+// trainer checkpoint — right magic and version, and the trailing CRC
+// matches the contents — without needing a model to load into. The elastic
+// recovery scan uses it to pick the newest generation that is actually
+// loadable, skipping torn or corrupt files.
+func VerifyTrainerCheckpointFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	// Minimum: magic + version + trailing CRC.
+	if st.Size() < 12 {
+		return fmt.Errorf("core: %s: %d bytes is too short to be a trainer checkpoint", path, st.Size())
+	}
+	br := bufio.NewReader(f)
+	cr := &crcReader{r: br}
+	var magic, ver uint32
+	if err := binary.Read(cr, binary.LittleEndian, &magic); err != nil {
+		return err
+	}
+	if magic != ckptTrainerMagic {
+		return fmt.Errorf("core: %s: bad trainer checkpoint magic %#x", path, magic)
+	}
+	if err := binary.Read(cr, binary.LittleEndian, &ver); err != nil {
+		return err
+	}
+	if ver != ckptTrainerVer {
+		return fmt.Errorf("core: %s: trainer checkpoint version %d, this build reads %d", path, ver, ckptTrainerVer)
+	}
+	if _, err := io.CopyN(io.Discard, cr, st.Size()-12); err != nil {
+		return fmt.Errorf("core: %s: %w", path, err)
+	}
+	var storedCRC uint32
+	if err := binary.Read(br, binary.LittleEndian, &storedCRC); err != nil {
+		return fmt.Errorf("core: %s: checksum: %w", path, err)
+	}
+	if storedCRC != cr.crc {
+		return fmt.Errorf("core: %s: checksum mismatch (stored %#x, computed %#x): truncated or corrupted file", path, storedCRC, cr.crc)
+	}
+	return nil
 }
 
 // LoadTrainerCheckpointFile loads a trainer checkpoint from path into rt.
@@ -343,17 +460,28 @@ func LoadTrainerCheckpointFile(path string, rt *RankTrainer) error {
 	return LoadTrainerCheckpoint(f, rt)
 }
 
-// SaveCheckpointFile writes a checkpoint to path.
+// SaveCheckpointFile writes a checkpoint to path via the same
+// tmp-and-rename dance as SaveTrainerCheckpointFile.
 func SaveCheckpointFile(path string, m *Model) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
 	if err := SaveCheckpoint(f, m); err != nil {
 		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // LoadCheckpointFile loads a checkpoint from path into m.

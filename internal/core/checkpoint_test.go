@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"os"
 	"testing"
 )
 
@@ -305,5 +306,122 @@ func TestTrainerCheckpointFileRoundTrip(t *testing.T) {
 	}
 	if d := MaxParamDiff(rt.Model, rt2.Model); d != 0 {
 		t.Fatalf("file round trip changed weights by %v", d)
+	}
+}
+
+// TestTrainerCheckpointCorruptionRejected pins the three on-disk failure
+// modes a crash mid-save can leave behind — a truncated file, a bit-flipped
+// file, and a half-renamed save (only the .tmp exists) — and demands the
+// loader and the verify scan reject all of them so recovery falls back a
+// generation instead of resuming from garbage.
+func TestTrainerCheckpointCorruptionRejected(t *testing.T) {
+	ds := testDataset(t, 80)
+	topo := testTopology(t, ds, 2)
+	cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 3}
+	rt, err := NewRankTrainer(ds, topo, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	good := dir + "/good.bnst"
+	if err := SaveTrainerCheckpointFile(good, rt); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrainerCheckpointFile(good); err != nil {
+		t.Fatalf("intact checkpoint failed verification: %v", err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *RankTrainer {
+		t.Helper()
+		rt2, err := NewRankTrainer(ds, topo, cfg, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt2
+	}
+
+	// Truncated mid-stream: cut deep inside the Adam moments, far from any
+	// length-prefixed boundary a shape check would catch.
+	trunc := dir + "/trunc.bnst"
+	if err := os.WriteFile(trunc, raw[:len(raw)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrainerCheckpointFile(trunc); err == nil {
+		t.Fatal("verify accepted a truncated checkpoint")
+	}
+	if err := LoadTrainerCheckpointFile(trunc, fresh()); err == nil {
+		t.Fatal("loader accepted a truncated checkpoint")
+	}
+
+	// Single bit flip in the middle of the weight data: every shape and
+	// length still parses, only the checksum can catch it.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)/2] ^= 0x10
+	flip := dir + "/flip.bnst"
+	if err := os.WriteFile(flip, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrainerCheckpointFile(flip); err == nil {
+		t.Fatal("verify accepted a bit-flipped checkpoint")
+	}
+	if err := LoadTrainerCheckpointFile(flip, fresh()); err == nil {
+		t.Fatal("loader accepted a bit-flipped checkpoint")
+	}
+
+	// Half-renamed save: the crash happened between writing the .tmp and the
+	// rename, so the final name never appeared. The generation scan must not
+	// see the orphan .tmp as a checkpoint.
+	half := dir + "/half.bnst"
+	if err := os.WriteFile(half+".tmp", raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyTrainerCheckpointFile(half); err == nil {
+		t.Fatal("verify accepted a checkpoint that was never renamed into place")
+	}
+	if err := LoadTrainerCheckpointFile(half, fresh()); err == nil {
+		t.Fatal("loader accepted a checkpoint that was never renamed into place")
+	}
+}
+
+// TestTrainerCheckpointSaveIsAtomic: an existing checkpoint under the final
+// name must survive a failed re-save untouched (the write happens in a .tmp
+// that only replaces it on success).
+func TestTrainerCheckpointSaveIsAtomic(t *testing.T) {
+	ds := testDataset(t, 81)
+	topo := testTopology(t, ds, 2)
+	cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 3}
+	rt, err := NewRankTrainer(ds, topo, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := dir + "/ckpt.bnst"
+	if err := SaveTrainerCheckpointFile(path, rt); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the tmp create to fail: a directory is squatting on the name.
+	if err := os.Mkdir(path+".tmp", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveTrainerCheckpointFile(path, rt); err == nil {
+		t.Fatal("save over a blocked tmp path should fail")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("failed re-save corrupted the existing checkpoint")
+	}
+	if err := VerifyTrainerCheckpointFile(path); err != nil {
+		t.Fatalf("existing checkpoint no longer verifies: %v", err)
 	}
 }

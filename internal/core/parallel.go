@@ -497,7 +497,14 @@ func (rt *RankTrainer) TrainEpoch(w *comm.Worker) (st RankStats, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			w.Transport().Abort()
-			err = fmt.Errorf("core: rank %d: epoch %d failed: %v", rt.Rank, rt.epoch, r)
+			// Wrap error panic values so callers can dispatch on the cause
+			// with errors.As — the elastic supervisor keys recovery on
+			// finding a *comm.TransportError in this chain.
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("core: rank %d: epoch %d failed: %w", rt.Rank, rt.epoch, e)
+			} else {
+				err = fmt.Errorf("core: rank %d: epoch %d failed: %v", rt.Rank, rt.epoch, r)
+			}
 		}
 	}()
 	st = rt.runEpoch(w)

@@ -1,0 +1,263 @@
+package elastic
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The elastic rendezvous. Classic DialTCP bootstrap assumes rank 0 is
+// alive and serves exactly once; an elastic cohort can lose any rank —
+// including rank 0 — and must re-rendezvous after every death. The protocol
+// here adds two things on top: a deterministic successor election (every
+// rank has a well-known candidate address; a rank serves on its own
+// candidate only if no lower-ranked candidate answers, so the
+// lowest-ranked live rank always ends up serving), and a generation
+// consensus (each registrant reports the newest checkpoint generation it
+// holds; the server answers with the minimum, which is the newest state
+// EVERY rank can actually load).
+//
+// Wire protocol, one line each way:
+//
+//	client → server: "EJOIN <rank> <dataAddr> <latestGen>\n"
+//	server → client: "ETAB <startGen> <addr0> ... <addrk-1>\n"  (success)
+//	                 "ERETRY\n"  (round timed out incomplete; re-probe)
+//	                 "EERR <reason>\n"  (misconfigured client; give up)
+//
+// A server whose round times out before the cohort completes tells its
+// registrants to retry and goes back to probing — so when a lower-ranked
+// candidate (a replacement rank 0) comes up late, the interim server and
+// its registrants all converge onto it instead of wedging in two partial
+// rendezvous.
+const (
+	probeTimeout = 300 * time.Millisecond
+	roundTimeout = 3 * time.Second
+	// staggerUnit spaces out when ranks give up probing and start serving:
+	// rank r waits r*staggerUnit before opening its own candidate listener,
+	// which keeps a transient rank-0 slowdown from electing a higher rank.
+	staggerUnit = 300 * time.Millisecond
+)
+
+// debugf is a test hook for tracing rendezvous rounds; a no-op in production.
+var debugf = func(format string, args ...any) {}
+
+// table is what a completed rendezvous agrees on.
+type table struct {
+	startGen int      // newest checkpoint generation every rank holds
+	addrs    []string // data listener address per rank
+}
+
+// LoopbackCandidates returns the default candidate set for a single-host
+// cohort: port base+r on host for rank r.
+func LoopbackCandidates(host string, basePort, world int) []string {
+	out := make([]string, world)
+	for r := range out {
+		out[r] = net.JoinHostPort(host, strconv.Itoa(basePort+r))
+	}
+	return out
+}
+
+// bootstrap runs the elastic rendezvous for one rank until it has a
+// complete table or the deadline passes.
+func bootstrap(rank, world int, cands []string, dataAddr string, myGen int, deadline time.Time) (*table, error) {
+	if len(cands) != world {
+		return nil, fmt.Errorf("elastic: rank %d: %d rendezvous candidates for world %d", rank, len(cands), world)
+	}
+	if world == 1 {
+		return &table{startGen: myGen, addrs: []string{dataAddr}}, nil
+	}
+	begin := time.Now()
+	// ln is our candidate listener. It stays open across consecutive serve
+	// rounds — closing it between rounds opens a gap that probing peers can
+	// hit, and when every rank's 3s rounds synchronize (as they do after a
+	// shared ERETRY) those gaps line up into a livelock where nobody ever
+	// finds anybody serving. It is closed only when we go back to probing
+	// lower-ranked candidates, i.e. when we are willing to defer. Rank 0
+	// never probes, so the rank-0 listener is persistent: the deterministic
+	// convergence target for the whole cohort.
+	var ln net.Listener
+	defer func() {
+		if ln != nil {
+			ln.Close()
+		}
+	}()
+	for time.Now().Before(deadline) {
+		// Probe lower-ranked candidates in order: the lowest live one wins.
+		// Stop serving first — holding our listener while deferring would trap
+		// higher-ranked registrants in a round we no longer intend to finish.
+		if rank > 0 && ln != nil {
+			ln.Close()
+			ln = nil
+		}
+		for c := 0; c < rank; c++ {
+			// Stick with a live candidate across ERETRYs: the server answering
+			// ERETRY is alive and will serve the next round too, so going off
+			// to serve our own round instead just splits the cohort across two
+			// servers — the registrants swap at synchronized round boundaries
+			// and no round ever completes.
+			for time.Now().Before(deadline) {
+				tbl, alive, err := register(cands[c], rank, world, dataAddr, myGen)
+				if tbl != nil {
+					return tbl, nil
+				}
+				if err != nil {
+					return nil, err // EERR: misconfiguration, retrying won't help
+				}
+				if !alive {
+					break
+				}
+				debugf("rank %d: cand %d is alive but round incomplete; re-registering", rank, c)
+			}
+			debugf("rank %d: probe cand %d: no table", rank, c)
+		}
+		// No lower candidate is serving. Serve on our own candidate once our
+		// stagger has elapsed; until then, yield so a slow lower rank can win.
+		if time.Since(begin) >= time.Duration(rank)*staggerUnit {
+			if ln == nil {
+				var err error
+				if ln, err = net.Listen("tcp", cands[rank]); err != nil {
+					// Our candidate address is occupied or otherwise unusable
+					// right now (a predecessor's listener in TIME_WAIT, a stale
+					// process); back off and re-probe rather than giving up.
+					debugf("rank %d: cannot serve on %s: %v", rank, cands[rank], err)
+					time.Sleep(probeTimeout)
+					continue
+				}
+			}
+			debugf("rank %d: serving round on %s", rank, cands[rank])
+			tbl := serveRound(ln, rank, world, dataAddr, myGen, deadline)
+			debugf("rank %d: round done tbl=%v", rank, tbl != nil)
+			if tbl != nil {
+				return tbl, nil
+			}
+		} else {
+			time.Sleep(probeTimeout / 3)
+		}
+	}
+	return nil, fmt.Errorf("elastic: rank %d: rendezvous incomplete after %v: no full cohort of %d ranks assembled (candidates %v)",
+		rank, time.Since(begin).Round(time.Millisecond), world, cands)
+}
+
+// register dials a candidate and tries to join its round. Returns a table
+// on success. alive reports whether a live server answered ERETRY (the
+// caller should re-register with it rather than serve its own round); it is
+// false when the candidate is unreachable or died mid-round. A non-nil
+// error is a permanent EERR rejection — retrying won't help.
+func register(cand string, rank, world int, dataAddr string, myGen int) (tbl *table, alive bool, err error) {
+	conn, err := net.DialTimeout("tcp", cand, probeTimeout)
+	if err != nil {
+		return nil, false, nil // not serving (yet) — caller moves on
+	}
+	defer conn.Close()
+	// The server holds registrations until its round completes or times
+	// out, so allow a full round plus slack before declaring it wedged.
+	conn.SetDeadline(time.Now().Add(roundTimeout + 2*time.Second))
+	if _, err := fmt.Fprintf(conn, "EJOIN %d %s %d\n", rank, dataAddr, myGen); err != nil {
+		return nil, false, nil
+	}
+	line, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		return nil, false, nil // server died or timed us out mid-round; re-probe
+	}
+	line = strings.TrimSpace(line)
+	switch {
+	case line == "ERETRY":
+		return nil, true, nil
+	case strings.HasPrefix(line, "EERR "):
+		return nil, false, fmt.Errorf("elastic: rank %d: rendezvous %s rejected registration: %s", rank, cand, line[len("EERR "):])
+	}
+	fields := strings.Fields(line)
+	if len(fields) != world+2 || fields[0] != "ETAB" {
+		return nil, false, fmt.Errorf("elastic: rank %d: malformed rendezvous table %q", rank, line)
+	}
+	start, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return nil, false, fmt.Errorf("elastic: rank %d: malformed start generation in %q", rank, line)
+	}
+	return &table{startGen: start, addrs: fields[2:]}, true, nil
+}
+
+// serveRound serves one rendezvous round on the caller's candidate
+// listener: collect a registration from every other rank, agree on
+// min(gen), broadcast the table. If the round times out incomplete,
+// registrants get ERETRY and the caller decides whether to probe or serve
+// another round; the listener stays open either way (see bootstrap).
+// Returns nil for a round that did not complete.
+func serveRound(ln net.Listener, rank, world int, dataAddr string, myGen int, overall time.Time) *table {
+	roundDL := time.Now().Add(roundTimeout)
+	if roundDL.After(overall) {
+		roundDL = overall
+	}
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(roundDL)
+	}
+	addrs := make([]string, world)
+	gens := make([]int, world)
+	conns := make([]net.Conn, world)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	addrs[rank], gens[rank] = dataAddr, myGen
+	have := 1
+	for have < world {
+		conn, err := ln.Accept()
+		if err != nil {
+			// Round timed out incomplete: release the registrants to re-probe.
+			for _, c := range conns {
+				if c != nil {
+					fmt.Fprint(c, "ERETRY\n")
+				}
+			}
+			return nil
+		}
+		conn.SetDeadline(roundDL.Add(time.Second))
+		var r, gen int
+		var addr string
+		if _, err := fmt.Fscanf(bufio.NewReader(conn), "EJOIN %d %s %d\n", &r, &addr, &gen); err != nil {
+			fmt.Fprintf(conn, "EERR malformed elastic hello: %v\n", err)
+			conn.Close()
+			continue
+		}
+		if r < 0 || r >= world {
+			fmt.Fprintf(conn, "EERR rank %d outside [0,%d) — check -rank/-world against the cohort\n", r, world)
+			conn.Close()
+			continue
+		}
+		if r == rank {
+			fmt.Fprintf(conn, "EERR rank %d is already serving this rendezvous — two processes claim the same rank\n", r)
+			conn.Close()
+			continue
+		}
+		if conns[r] != nil {
+			// Latest registration wins: the old connection belongs to a
+			// client that gave up, died, or redialed across generations.
+			conns[r].Close()
+			have--
+		}
+		conns[r], addrs[r], gens[r] = conn, addr, gen
+		have++
+	}
+	start := gens[0]
+	for _, g := range gens[1:] {
+		if g < start {
+			start = g
+		}
+	}
+	line := "ETAB " + strconv.Itoa(start) + " " + strings.Join(addrs, " ") + "\n"
+	for _, c := range conns {
+		if c == nil {
+			continue
+		}
+		if _, err := c.Write([]byte(line)); err != nil {
+			return nil // a registrant died mid-broadcast; rerun the round
+		}
+	}
+	return &table{startGen: start, addrs: addrs}
+}

@@ -1,0 +1,137 @@
+package elastic
+
+import (
+	"fmt"
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// freeCandidates reserves world distinct loopback ports and releases them
+// for the rendezvous to claim. (Small reuse window; losing it fails loudly.)
+func freeCandidates(t testing.TB, world int) []string {
+	t.Helper()
+	out := make([]string, world)
+	lns := make([]net.Listener, world)
+	for r := 0; r < world; r++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[r], out[r] = ln, ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return out
+}
+
+// TestBootstrapAgreesOnTableAndMinGen: a healthy cohort converges on one
+// table — every rank's address in its slot — and the minimum reported
+// checkpoint generation.
+func TestBootstrapAgreesOnTableAndMinGen(t *testing.T) {
+	const world = 3
+	cands := freeCandidates(t, world)
+	gens := []int{7, 2, 5}
+	tables := make([]*table, world)
+	errs := make([]error, world)
+	deadline := time.Now().Add(20 * time.Second)
+	var wg sync.WaitGroup
+	for r := 0; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tables[r], errs[r] = bootstrap(r, world, cands, fmt.Sprintf("10.0.0.%d:900%d", r, r), gens[r], deadline)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, tbl := range tables {
+		if tbl.startGen != 2 {
+			t.Fatalf("rank %d agreed on gen %d, want min gen 2", r, tbl.startGen)
+		}
+		if !reflect.DeepEqual(tbl.addrs, tables[0].addrs) {
+			t.Fatalf("tables diverged: rank 0 %v vs rank %d %v", tables[0].addrs, r, tbl.addrs)
+		}
+		if tbl.addrs[r] != fmt.Sprintf("10.0.0.%d:900%d", r, r) {
+			t.Fatalf("rank %d slot holds %q", r, tbl.addrs[r])
+		}
+	}
+}
+
+// TestBootstrapElectsSuccessorThenDefersToRankZero is the rank-0-death
+// drama in miniature: ranks 1 and 2 start with rank 0 absent (dead), rank 1
+// is elected interim server, and when the replacement rank 0 finally comes
+// up, everyone converges onto it — one table, no wedged partial rendezvous.
+func TestBootstrapElectsSuccessorThenDefersToRankZero(t *testing.T) {
+	const world = 3
+	cands := freeCandidates(t, world)
+	tables := make([]*table, world)
+	errs := make([]error, world)
+	deadline := time.Now().Add(30 * time.Second)
+	var wg sync.WaitGroup
+	for r := 1; r < world; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tables[r], errs[r] = bootstrap(r, world, cands, fmt.Sprintf("addr-%d:1", r), 3, deadline)
+		}(r)
+	}
+	// The replacement rank 0 shows up well after rank 1 has started serving.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(1500 * time.Millisecond)
+		tables[0], errs[0] = bootstrap(0, world, cands, "addr-0:1", 0, deadline)
+	}()
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, tbl := range tables {
+		if tbl.startGen != 0 {
+			t.Fatalf("rank %d agreed on gen %d; the fresh replacement holds nothing, so min is 0", r, tbl.startGen)
+		}
+		if !reflect.DeepEqual(tbl.addrs, []string{"addr-0:1", "addr-1:1", "addr-2:1"}) {
+			t.Fatalf("rank %d table %v", r, tbl.addrs)
+		}
+	}
+}
+
+// TestBootstrapWorldOfOne needs no sockets at all.
+func TestBootstrapWorldOfOne(t *testing.T) {
+	tbl, err := bootstrap(0, 1, []string{"unused:1"}, "me:2", 4, time.Now().Add(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.startGen != 4 || len(tbl.addrs) != 1 || tbl.addrs[0] != "me:2" {
+		t.Fatalf("world-of-one table %+v", tbl)
+	}
+}
+
+// TestBootstrapRejectsBadCandidateSet: a candidate list that disagrees with
+// the world size is a misconfiguration, not something to retry.
+func TestBootstrapRejectsBadCandidateSet(t *testing.T) {
+	if _, err := bootstrap(0, 3, []string{"a:1"}, "me:2", 0, time.Now().Add(time.Second)); err == nil {
+		t.Fatal("short candidate list must be rejected")
+	}
+}
+
+// TestBootstrapDeadlineSurfacesPointedError: an incomplete cohort (world 2,
+// only one rank) must give up at the deadline with an error naming the
+// situation, not hang.
+func TestBootstrapDeadlineSurfacesPointedError(t *testing.T) {
+	cands := freeCandidates(t, 2)
+	_, err := bootstrap(0, 2, cands, "me:2", 0, time.Now().Add(2*time.Second))
+	if err == nil {
+		t.Fatal("lone rank completed a world-2 rendezvous")
+	}
+}

@@ -1,0 +1,87 @@
+// Package elastic makes BNS-GCN training survive rank death. It connects
+// two facts the rest of the repo already establishes — survivors of a dead
+// peer get a clean *comm.TransportError, and trainer checkpoints resume
+// bit-exactly — into a recovery loop: every N epochs each rank writes an
+// atomic generation-numbered checkpoint; when a rank dies, survivors tear
+// down their transports, rejoin a generation-bumped rendezvous (served by
+// rank 0 or, if rank 0 died, its lowest-ranked live successor), agree on
+// the newest checkpoint generation every rank actually holds, reload it,
+// and train on. A replacement process re-admitted into the dead rank's slot
+// picks up that rank's checkpoint from the shared checkpoint directory, so
+// the final weights are bit-identical to an uninterrupted run.
+//
+// Two entry points: Supervisor drives k ranks in one process (the form the
+// bit-exactness and fault-injection tests use, over either backend), and
+// Run drives the single rank of a real multi-process deployment
+// (cmd/bnsgcn's elastic mode).
+package elastic
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Checkpoint generations: generation g is the state after g*Every completed
+// epochs; generation 0 is "fresh start, nothing on disk". Every rank writes
+// its own file per generation — rank state differs (rank-seeded sampling
+// streams, local dropout positions) even though the model replicas agree.
+
+// CheckpointPath returns the canonical checkpoint file name for (rank, gen)
+// under dir. The fixed-width numbering keeps lexical and numeric order
+// identical, so directory listings read in training order.
+func CheckpointPath(dir string, rank, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-r%03d-g%08d.bnst", rank, gen))
+}
+
+// SaveGeneration atomically writes rank rt.Rank's checkpoint for gen.
+func SaveGeneration(dir string, gen int, rt *core.RankTrainer) error {
+	return core.SaveTrainerCheckpointFile(CheckpointPath(dir, rt.Rank, gen), rt)
+}
+
+// LatestValidGen scans dir for the newest checkpoint generation of rank
+// that actually verifies — right magic, right version, intact trailing CRC.
+// Torn files never pass (the atomic save leaves them under a .tmp name the
+// scan ignores; a bit-rotted or truncated file fails its checksum), so a
+// corrupt latest generation silently falls back to the one before it.
+// Returns 0 — fresh start — when dir has no loadable checkpoint for rank.
+func LatestValidGen(dir string, rank int) int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	prefix := fmt.Sprintf("ckpt-r%03d-g", rank)
+	var gens []int
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".bnst") {
+			continue
+		}
+		g, err := strconv.Atoi(strings.TrimSuffix(name[len(prefix):], ".bnst"))
+		if err != nil || g <= 0 {
+			continue
+		}
+		gens = append(gens, g)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(gens)))
+	for _, g := range gens {
+		if core.VerifyTrainerCheckpointFile(CheckpointPath(dir, rank, g)) == nil {
+			return g
+		}
+	}
+	return 0
+}
+
+// LoadGeneration restores generation gen into rt (a no-op for gen 0). After
+// a successful load rt sits exactly at epoch gen*every.
+func LoadGeneration(dir string, gen int, rt *core.RankTrainer) error {
+	if gen == 0 {
+		return nil
+	}
+	return core.LoadTrainerCheckpointFile(CheckpointPath(dir, rt.Rank, gen), rt)
+}

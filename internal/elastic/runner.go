@@ -1,0 +1,159 @@
+package elastic
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// RunnerConfig configures the per-process elastic loop. One process runs
+// exactly one rank; a replacement process started with the dead rank's
+// number (cmd/bnsgcn -join) runs the same loop and is indistinguishable
+// from a survivor once admitted.
+type RunnerConfig struct {
+	Config
+	Rank  int
+	World int
+	// Candidates is the rendezvous candidate address per rank (see
+	// bootstrap.go): every process must agree on this list. cmd/bnsgcn
+	// builds it from -hosts or defaults to loopback ports.
+	Candidates []string
+	// ListenHost is the interface the data listener binds and advertises;
+	// on multi-host setups it must be this machine's externally reachable
+	// address (loopback default only works single-host).
+	ListenHost string
+	// Timeout bounds each bootstrap (rendezvous + mesh dial).
+	Timeout time.Duration
+	// HeartbeatInterval/HeartbeatTimeout arm the wedged-peer detector on
+	// the mesh (comm.TCPConfig); zero disables it and only closed
+	// connections are detected.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// NewTrainer constructs this rank's trainer from scratch; called afresh
+	// on every bootstrap, like the Supervisor's.
+	NewTrainer func(rank int) (*core.RankTrainer, error)
+	// OnEpoch, when set, observes every completed epoch (progress logging,
+	// test instrumentation).
+	OnEpoch func(rt *core.RankTrainer, st core.RankStats)
+}
+
+// Run executes this rank's elastic training loop: bootstrap (elect a
+// rendezvous server, agree on the address table and the resume generation),
+// mesh, reload, train with periodic checkpoints — and on a peer's death,
+// tear everything down and do it again. It returns the trainer at
+// Cfg.Epochs and the recovery report.
+func Run(cfg RunnerConfig) (*core.RankTrainer, Report, error) {
+	var rep Report
+	if err := cfg.validate(); err != nil {
+		return nil, rep, err
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	if cfg.ListenHost == "" {
+		cfg.ListenHost = "127.0.0.1"
+	}
+	for {
+		rt, startGen, err := runGeneration(&cfg)
+		if err == nil {
+			rep.StartGens = append(rep.StartGens, startGen)
+			return rt, rep, nil
+		}
+		if startGen >= 0 {
+			rep.StartGens = append(rep.StartGens, startGen)
+		}
+		if !recoverable(err) {
+			return nil, rep, err
+		}
+		rep.Recoveries++
+		rep.Failures = append(rep.Failures, err)
+		if rep.Recoveries > cfg.MaxRecoveries {
+			return nil, rep, fmt.Errorf("elastic: rank %d: giving up after %d recoveries: %w", cfg.Rank, rep.Recoveries-1, err)
+		}
+	}
+}
+
+// meshError marks bootstrap/mesh failures that are worth retrying — the
+// cohort may simply not have reassembled yet (a replacement still starting,
+// a peer tearing down its old listener). It satisfies recoverable() by
+// carrying a *comm.TransportError.
+func meshError(rank int, err error) error {
+	return &comm.TransportError{Rank: rank, Err: err}
+}
+
+// runGeneration runs one bootstrap-train cycle. The returned generation is
+// the one the cohort agreed to resume from, or -1 if the failure happened
+// before agreement.
+func runGeneration(cfg *RunnerConfig) (*core.RankTrainer, int, error) {
+	deadline := time.Now().Add(cfg.Timeout)
+
+	// The data listener binds before rendezvous — its address is what we
+	// advertise in the registration.
+	dataLn, err := net.Listen("tcp", net.JoinHostPort(cfg.ListenHost, "0"))
+	if err != nil {
+		return nil, -1, fmt.Errorf("elastic: rank %d: data listener: %w", cfg.Rank, err)
+	}
+	myGen := LatestValidGen(cfg.Dir, cfg.Rank)
+	tbl, err := bootstrap(cfg.Rank, cfg.World, cfg.Candidates, dataLn.Addr().String(), myGen, deadline)
+	if err != nil {
+		dataLn.Close()
+		return nil, -1, err
+	}
+	tp, err := comm.DialTCPMesh(comm.TCPConfig{
+		Rank:              cfg.Rank,
+		World:             cfg.World,
+		ListenHost:        cfg.ListenHost,
+		Timeout:           time.Until(deadline),
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		HeartbeatTimeout:  cfg.HeartbeatTimeout,
+	}, dataLn, tbl.addrs) // DialTCPMesh closes dataLn
+	if err != nil {
+		// The table went stale between agreement and mesh (another rank died
+		// in the window, or a partial broadcast) — retry the bootstrap.
+		return nil, tbl.startGen, meshError(cfg.Rank, fmt.Errorf("mesh dial failed: %w", err))
+	}
+
+	rt, err := cfg.NewTrainer(cfg.Rank)
+	if err != nil {
+		tp.Close()
+		return nil, tbl.startGen, err
+	}
+	if err := LoadGeneration(cfg.Dir, tbl.startGen, rt); err != nil {
+		tp.Close()
+		return nil, tbl.startGen, fmt.Errorf("elastic: rank %d: load gen %d: %w", cfg.Rank, tbl.startGen, err)
+	}
+
+	w := comm.NewWorker(tp)
+	if err := trainRank(&cfg.Config, rt, w, cfg.OnEpoch); err != nil {
+		tp.Close()
+		return nil, tbl.startGen, err
+	}
+	// Drain in lockstep so no rank tears down while a peer still trains.
+	if err := barrier(w); err != nil {
+		tp.Close()
+		return nil, tbl.startGen, err
+	}
+	if err := tp.Close(); err != nil {
+		return nil, tbl.startGen, err
+	}
+	return rt, tbl.startGen, nil
+}
+
+// barrier runs the final synchronization, converting the transport panic a
+// dying peer causes into an error the recovery loop can absorb.
+func barrier(w *comm.Worker) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = fmt.Errorf("elastic: final barrier: %w", e)
+			} else {
+				err = fmt.Errorf("elastic: final barrier: %v", r)
+			}
+		}
+	}()
+	w.Barrier()
+	return nil
+}

@@ -1,0 +1,191 @@
+package elastic
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+)
+
+// Config holds the knobs shared by the in-process Supervisor and the
+// per-process Run loop.
+type Config struct {
+	// Dir is the checkpoint directory. In a multi-process deployment every
+	// rank (and any replacement process) must see the same directory — a
+	// replacement re-admitted into a dead rank's slot resumes from the dead
+	// rank's files.
+	Dir string
+	// Every is the checkpoint cadence in epochs (generation g = state after
+	// g*Every epochs). Smaller values bound the recomputation a recovery
+	// replays; larger values cost less save time per epoch.
+	Every int
+	// Epochs is the training target: ranks train until Epoch() == Epochs.
+	Epochs int
+	// MaxRecoveries bounds how many failures the loop absorbs before giving
+	// up and returning the underlying error.
+	MaxRecoveries int
+}
+
+func (c *Config) validate() error {
+	if c.Every <= 0 {
+		return fmt.Errorf("elastic: checkpoint cadence %d must be positive", c.Every)
+	}
+	if c.Epochs < 0 {
+		return fmt.Errorf("elastic: %d epochs", c.Epochs)
+	}
+	if c.Dir == "" {
+		return fmt.Errorf("elastic: checkpoint directory is required")
+	}
+	return nil
+}
+
+// Report describes what a recovery loop lived through.
+type Report struct {
+	// Recoveries is the number of failures absorbed.
+	Recoveries int
+	// StartGens records the checkpoint generation each bootstrap agreed to
+	// resume from; StartGens[0] is the initial start (0 = fresh).
+	StartGens []int
+	// Failures holds the error that triggered each recovery.
+	Failures []error
+}
+
+// recoverable reports whether err is a peer/transport death the elastic
+// loop should absorb — anything carrying a *comm.TransportError, which
+// includes injected faults and epoch failures wrapping one. Everything else
+// (checkpoint I/O failures, programming errors) aborts the run.
+func recoverable(err error) bool {
+	var te *comm.TransportError
+	return errors.As(err, &te)
+}
+
+// trainRank drives one rank from its current epoch to cfg.Epochs, saving a
+// generation checkpoint every cfg.Every epochs. The MarkEpoch call at the
+// top of each epoch is what lets a comm.WithFaults plan kill this rank at a
+// deterministic epoch boundary; on plain transports it is a no-op.
+func trainRank(cfg *Config, rt *core.RankTrainer, w *comm.Worker, onEpoch func(*core.RankTrainer, core.RankStats)) error {
+	for rt.Epoch() < cfg.Epochs {
+		if err := comm.MarkEpoch(w.Transport(), rt.Epoch()); err != nil {
+			return fmt.Errorf("elastic: rank %d: %w", rt.Rank, err)
+		}
+		st, err := rt.TrainEpoch(w)
+		if err != nil {
+			return err
+		}
+		if onEpoch != nil {
+			onEpoch(rt, st)
+		}
+		if rt.Epoch()%cfg.Every == 0 {
+			if err := SaveGeneration(cfg.Dir, rt.Epoch()/cfg.Every, rt); err != nil {
+				return fmt.Errorf("elastic: rank %d: checkpoint save: %w", rt.Rank, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Supervisor drives all k ranks of an elastic training run inside one
+// process: the in-process twin of the multi-process Run loop, and the
+// harness the recovery bit-exactness tests are built on. It owns the full
+// loop — train, checkpoint every N epochs, and on any rank's death tear the
+// group down, rebuild it through NewGroup, agree on the newest generation
+// every rank holds, reload, and resume.
+type Supervisor struct {
+	Cfg Config
+	// NewTrainer constructs rank r's trainer from scratch. It is called
+	// afresh on every bootstrap — recovery never reuses a trainer that
+	// observed the failure, exactly like a restarted process wouldn't.
+	NewTrainer func(rank int) (*core.RankTrainer, error)
+	// NewGroup builds the communication fabric for rendezvous generation
+	// gen (0 for the initial bootstrap, bumped on every recovery). Tests
+	// inject faults by wrapping the returned group in comm.WithFaults for
+	// the generation the fault should fire in; a fresh group per generation
+	// is what guarantees a one-shot fault cannot re-fire after recovery.
+	NewGroup func(gen int) (*comm.Group, error)
+	// OnEpoch, when set, observes every completed epoch on every rank.
+	OnEpoch func(rt *core.RankTrainer, st core.RankStats)
+}
+
+// Run executes the elastic loop to completion and returns the final
+// trainers (one per rank, all at Cfg.Epochs) plus the recovery report.
+func (s *Supervisor) Run() ([]*core.RankTrainer, Report, error) {
+	var rep Report
+	if err := s.Cfg.validate(); err != nil {
+		return nil, rep, err
+	}
+	for gen := 0; ; gen++ {
+		g, err := s.NewGroup(gen)
+		if err != nil {
+			return nil, rep, fmt.Errorf("elastic: generation %d: group: %w", gen, err)
+		}
+		k := g.Size()
+		trainers := make([]*core.RankTrainer, k)
+		for r := range trainers {
+			if trainers[r], err = s.NewTrainer(r); err != nil {
+				g.Close()
+				return nil, rep, fmt.Errorf("elastic: generation %d: trainer %d: %w", gen, r, err)
+			}
+		}
+		// Generation consensus, the in-process degenerate case: every rank's
+		// scan is a local directory read, the agreement is a plain min. The
+		// multi-process loop exchanges the same numbers through the elastic
+		// rendezvous (see bootstrap.go).
+		start := 0
+		for r := 0; r < k; r++ {
+			lg := LatestValidGen(s.Cfg.Dir, r)
+			if r == 0 || lg < start {
+				start = lg
+			}
+		}
+		rep.StartGens = append(rep.StartGens, start)
+		for r := range trainers {
+			if err := LoadGeneration(s.Cfg.Dir, start, trainers[r]); err != nil {
+				g.Close()
+				return nil, rep, fmt.Errorf("elastic: generation %d: load gen %d: %w", gen, start, err)
+			}
+		}
+
+		errs := make([]error, k)
+		var wg sync.WaitGroup
+		for r := 0; r < k; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				errs[r] = trainRank(&s.Cfg, trainers[r], g.Worker(r), s.OnEpoch)
+			}(r)
+		}
+		wg.Wait()
+		g.Close()
+
+		// Pick the most informative failure for the report: the victim's own
+		// error names the root cause (e.g. an injected fault), while the
+		// survivors only see "transport aborted by rank r".
+		var failed error
+		for _, err := range errs {
+			if err == nil {
+				continue
+			}
+			if failed == nil {
+				failed = err
+			}
+			var inj *comm.InjectedFault
+			if errors.As(err, &inj) {
+				failed = err
+				break
+			}
+		}
+		if failed == nil {
+			return trainers, rep, nil
+		}
+		if !recoverable(failed) {
+			return nil, rep, failed
+		}
+		rep.Recoveries++
+		rep.Failures = append(rep.Failures, failed)
+		if rep.Recoveries > s.Cfg.MaxRecoveries {
+			return nil, rep, fmt.Errorf("elastic: giving up after %d recoveries: %w", rep.Recoveries-1, failed)
+		}
+	}
+}
