@@ -12,7 +12,7 @@ export GOAMD64
 
 GO ?= go
 
-.PHONY: build test race bench bench-spmm bench-epoch vet release
+.PHONY: build test race bench bench-spmm bench-epoch bench-serve vet release
 
 build:
 	$(GO) build ./...
@@ -35,8 +35,14 @@ bench-epoch:
 
 bench: bench-spmm bench-epoch
 
-# Release build: the shipped binaries (trainer, partitioner, bench harness).
+# The serving load test behind BENCH_serve.json.
+bench-serve:
+	$(GO) run ./cmd/bnsbench -exp serve -out BENCH_serve.json
+
+# Release build: the shipped binaries (trainer, partitioner, bench harness,
+# inference server).
 release: vet build
 	$(GO) build -o bin/bnsgcn ./cmd/bnsgcn
 	$(GO) build -o bin/bnspart ./cmd/bnspart
 	$(GO) build -o bin/bnsbench ./cmd/bnsbench
+	$(GO) build -o bin/bnsserve ./cmd/bnsserve

@@ -96,6 +96,7 @@ func main() {
 
 		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint directory; enables elastic fault-tolerant training (requires -world; every rank and any -join replacement must see the same directory)")
 		ckptEvery  = flag.Int("checkpoint-every", 5, "checkpoint cadence in epochs for elastic training")
+		ckptKeep   = flag.Int("checkpoint-keep", 3, "checkpoint generations retained per rank (older ones are pruned after each save; the cohort's agreed resume generation is always kept; 0 = keep everything)")
 		join       = flag.Bool("join", false, "re-admit this process into a dead rank's slot: resume the -rank given from the shared -checkpoint-dir (the training loop is identical; the flag documents intent and is validated)")
 		hostsFile  = flag.String("hosts", "", "file with one rendezvous candidate per rank, host or host:port per line (# comments ok); default: loopback ports 29500+rank")
 		listenHost = flag.String("listen-host", "", "interface data listeners bind and advertise (default 127.0.0.1; multi-host runs must set this rank's reachable address)")
@@ -216,6 +217,7 @@ func main() {
 			trainElastic(ds, topo, pcfg, elastic.RunnerConfig{
 				Config: elastic.Config{
 					Dir: *ckptDir, Every: *ckptEvery, Epochs: *epochs, MaxRecoveries: *maxRecover,
+					KeepGenerations: *ckptKeep,
 				},
 				Rank: *rank, World: *world, Candidates: cands, ListenHost: *listenHost,
 				HeartbeatInterval: *hbEvery, HeartbeatTimeout: *hbTimeout,

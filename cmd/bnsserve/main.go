@@ -1,0 +1,156 @@
+// Command bnsserve serves node-classification queries from a trained
+// BNS-GCN checkpoint over HTTP: the online-inference leg of the system the
+// training commands produce checkpoints for.
+//
+// At startup it loads the model (either checkpoint format; a trainer
+// checkpoint's optimizer state is verified and discarded), regenerates the
+// dataset from the shared seed exactly like the training commands do — no
+// feature files need distributing — precomputes all hidden-layer embeddings,
+// and then answers queries with row-subset passes over just the requested
+// logit rows. Concurrent requests are coalesced into one pass per batch, hot
+// rows are served from an LRU cache, and feature updates re-embed only the
+// affected receptive field. Served logits are bit-identical to the
+// FullTrainer evaluation path on the same checkpoint.
+//
+//	# train, checkpoint, then serve:
+//	bnsserve -dataset reddit -checkpoint /tmp/ckpt/ckpt-r000-g00000010.bnst
+//
+//	# smoke/load-test mode (no checkpoint: deterministic fresh weights):
+//	bnsserve -dataset reddit -addr 127.0.0.1:8090
+//
+//	curl 'localhost:8090/v1/predict?nodes=1,2,3'
+//	curl -d '{"node":7,"features":[...]}' localhost:8090/v1/update
+//	curl localhost:8090/v1/stats
+//
+// With -graph the adjacency comes from a binary CSR file written by bnspart
+// (validated on load: corrupt headers, non-monotonic indptr, and
+// out-of-range indices are rejected) instead of the generated dataset's.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/graph"
+	"repro/internal/serve"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bnsserve:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "reddit", "dataset to regenerate for features/labels: reddit, products, yelp")
+		scale  = flag.Int("scale", 1, "dataset scale multiplier")
+		seed   = flag.Uint64("seed", 1, "master seed (must match the training run's)")
+
+		ckpt      = flag.String("checkpoint", "", "checkpoint to serve (weights-only .bnsc or trainer .bnst; empty = fresh deterministic weights for smoke and load tests)")
+		graphPath = flag.String("graph", "", "binary CSR graph file (bnspart -save) to serve instead of the generated dataset's adjacency; node count must match")
+		arch      = flag.String("arch", "sage", "model when no checkpoint is given: sage or gat")
+		layers    = flag.Int("layers", 0, "model depth when no checkpoint is given (0 = paper default for dataset)")
+		hidden    = flag.Int("hidden", 32, "hidden units when no checkpoint is given")
+
+		addr     = flag.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
+		cache    = flag.Int("cache", 4096, "LRU embedding-cache capacity in logit rows")
+		maxBatch = flag.Int("max-batch", 64, "max concurrent predict requests coalesced into one row-subset pass")
+	)
+	flag.Parse()
+
+	var cfg datagen.Config
+	var defLayers int
+	switch *dsName {
+	case "reddit":
+		cfg, defLayers = datagen.RedditSim(*scale, *seed), 4
+	case "products":
+		cfg, defLayers = datagen.ProductsSim(*scale, *seed), 3
+	case "yelp":
+		cfg, defLayers = datagen.YelpSim(*scale, *seed), 4
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dsName))
+	}
+	if *layers == 0 {
+		*layers = defLayers
+	}
+
+	fmt.Printf("generating %s (scale %d)...\n", cfg.Name, *scale)
+	ds, err := datagen.Generate(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	g := ds.G
+	if *graphPath != "" {
+		if g, err = graph.LoadFile(*graphPath); err != nil {
+			fatal(fmt.Errorf("load graph: %w", err))
+		}
+		fmt.Printf("serving adjacency from %s (%d nodes, %d edges)\n", *graphPath, g.N, g.NumEdges())
+	}
+
+	var model *core.Model
+	if *ckpt != "" {
+		if model, err = core.LoadModelFile(*ckpt); err != nil {
+			fatal(fmt.Errorf("load checkpoint: %w", err))
+		}
+		fmt.Printf("loaded %s: %s, %d layers, %d hidden, %d -> %d\n",
+			*ckpt, model.Config.Arch, model.Config.Layers, model.Config.Hidden, model.InDim, model.OutDim)
+	} else {
+		mc := core.ModelConfig{Arch: core.Arch(*arch), Layers: *layers, Hidden: *hidden, LR: 0.01, Seed: *seed}
+		if model, err = core.NewModel(mc, ds.FeatureDim(), ds.NumClasses); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("no checkpoint: serving fresh deterministic %s/%d-layer weights (seed %d)\n", *arch, *layers, *seed)
+	}
+
+	start := time.Now()
+	eng, err := serve.NewEngine(model, g, ds.Features, *cache)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("precomputed embeddings for %d nodes in %s (cache %d rows, max batch %d)\n",
+		g.N, time.Since(start).Round(time.Millisecond), *cache, *maxBatch)
+
+	srv := serve.NewServer(eng, serve.ServerConfig{MaxBatch: *maxBatch})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	fmt.Printf("serving on http://%s (/v1/predict /v1/update /v1/stats /v1/healthz)\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("\n%s: draining...\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "bnsserve: shutdown:", err)
+		}
+		cancel()
+	case err := <-errCh:
+		if err != http.ErrServerClosed {
+			fatal(err)
+		}
+	}
+
+	st, err := srv.Stats()
+	srv.Close()
+	if err == nil {
+		out, _ := json.Marshal(st)
+		fmt.Printf("final stats: %s\n", out)
+	}
+}

@@ -3,10 +3,13 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
+	"syscall"
 
 	"repro/internal/optim"
 	"repro/internal/tensor"
@@ -131,34 +134,78 @@ func readModelSection(br io.Reader, m *Model) error {
 	return readMats(br, m.Params(), "param")
 }
 
-// readModelHeader validates the config header and parameter count against m
-// without touching any weights.
-func readModelHeader(br io.Reader, m *Model) error {
+// ckptHeader is the decoded config header of a model section: everything
+// needed to rebuild the model architecture without a pre-built Model.
+type ckptHeader struct {
+	arch           Arch
+	layers, hidden int
+	inDim, outDim  int
+	nParams        int
+}
+
+// readHeaderRaw decodes the config header without validating it against any
+// model, so a checkpoint can describe the model to build (LoadModelFromCheckpoint)
+// as well as be checked against an existing one (readModelHeader).
+func readHeaderRaw(br io.Reader) (ckptHeader, error) {
+	var h ckptHeader
 	header := make([]int64, 5)
 	if err := binary.Read(br, binary.LittleEndian, header); err != nil {
-		return fmt.Errorf("core: checkpoint header: %w", err)
+		return h, fmt.Errorf("core: checkpoint header: %w", err)
 	}
 	if header[0] < 0 || header[0] > 64 {
-		return fmt.Errorf("core: checkpoint arch name length %d", header[0])
+		return h, fmt.Errorf("core: checkpoint arch name length %d", header[0])
 	}
 	archBytes := make([]byte, header[0])
 	if _, err := io.ReadFull(br, archBytes); err != nil {
-		return fmt.Errorf("core: checkpoint arch: %w", err)
+		return h, fmt.Errorf("core: checkpoint arch: %w", err)
 	}
-	if Arch(archBytes) != m.Config.Arch || int(header[1]) != m.Config.Layers ||
-		int(header[2]) != m.Config.Hidden || int(header[3]) != m.InDim || int(header[4]) != m.OutDim {
-		return fmt.Errorf("core: checkpoint is %s/%d layers/%d hidden/%d->%d, model is %s/%d/%d/%d->%d",
-			archBytes, header[1], header[2], header[3], header[4],
-			m.Config.Arch, m.Config.Layers, m.Config.Hidden, m.InDim, m.OutDim)
-	}
+	h.arch = Arch(archBytes)
+	h.layers, h.hidden = int(header[1]), int(header[2])
+	h.inDim, h.outDim = int(header[3]), int(header[4])
 	var nParams int64
 	if err := binary.Read(br, binary.LittleEndian, &nParams); err != nil {
+		return h, err
+	}
+	if nParams < 0 || nParams > 1<<20 {
+		return h, fmt.Errorf("core: checkpoint parameter count %d", nParams)
+	}
+	h.nParams = int(nParams)
+	return h, nil
+}
+
+// readModelHeader validates the config header and parameter count against m
+// without touching any weights.
+func readModelHeader(br io.Reader, m *Model) error {
+	h, err := readHeaderRaw(br)
+	if err != nil {
 		return err
 	}
-	if int(nParams) != len(m.Params()) {
-		return fmt.Errorf("core: checkpoint has %d params, model has %d", nParams, len(m.Params()))
+	if h.arch != m.Config.Arch || h.layers != m.Config.Layers ||
+		h.hidden != m.Config.Hidden || h.inDim != m.InDim || h.outDim != m.OutDim {
+		return fmt.Errorf("core: checkpoint is %s/%d layers/%d hidden/%d->%d, model is %s/%d/%d/%d->%d",
+			h.arch, h.layers, h.hidden, h.inDim, h.outDim,
+			m.Config.Arch, m.Config.Layers, m.Config.Hidden, m.InDim, m.OutDim)
+	}
+	if h.nParams != len(m.Params()) {
+		return fmt.Errorf("core: checkpoint has %d params, model has %d", h.nParams, len(m.Params()))
 	}
 	return nil
+}
+
+// modelFromHeader builds a freshly initialized model with the architecture a
+// checkpoint header describes. Dropout is zero and the learning rate a
+// placeholder: the hydrated model is for inference, not training.
+func modelFromHeader(h ckptHeader) (*Model, error) {
+	cfg := ModelConfig{Arch: h.arch, Layers: h.layers, Hidden: h.hidden, LR: 0.01, Seed: 0}
+	m, err := NewModel(cfg, h.inDim, h.outDim)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint header describes an unbuildable model: %w", err)
+	}
+	if h.nParams != len(m.Params()) {
+		return nil, fmt.Errorf("core: checkpoint has %d params, %s/%d layers model has %d",
+			h.nParams, h.arch, h.layers, len(m.Params()))
+	}
+	return m, nil
 }
 
 // writeMats writes each matrix as (rows, cols, data).
@@ -370,19 +417,159 @@ func stageLike(mats []*tensor.Matrix) []*tensor.Matrix {
 	return out
 }
 
-// SaveTrainerCheckpointFile writes a trainer checkpoint to path atomically:
-// the bytes land in path+".tmp", are synced, and are renamed into place
-// only once complete. A crash at any point leaves either the previous
-// checkpoint intact or a stray .tmp file — never a torn file under the
-// final name — which is what lets elastic recovery trust the newest
-// generation it finds on disk.
-func SaveTrainerCheckpointFile(path string, rt *RankTrainer) error {
+// LoadModelFromCheckpoint builds a model directly from a checkpoint stream,
+// reading the architecture from the config header instead of requiring a
+// pre-built model — what an inference server needs to hydrate weights from
+// disk without a dataset, optimizer, or live transport. Both formats load:
+// a weights-only checkpoint ("BNSC") as-is, and a trainer checkpoint
+// ("BNST") by taking its model section, draining the resume-only state
+// (optimizer moments, RNG positions), and verifying the trailing CRC so a
+// torn or bit-rotted file is rejected rather than served.
+func LoadModelFromCheckpoint(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	cr := &crcReader{r: br}
+	var magic uint32
+	if err := binary.Read(cr, binary.LittleEndian, &magic); err != nil {
+		return nil, fmt.Errorf("core: checkpoint magic: %w", err)
+	}
+	switch magic {
+	case ckptMagic:
+		h, err := readHeaderRaw(cr)
+		if err != nil {
+			return nil, err
+		}
+		m, err := modelFromHeader(h)
+		if err != nil {
+			return nil, err
+		}
+		if err := readMats(cr, m.Params(), "param"); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case ckptTrainerMagic:
+		var ver uint32
+		if err := binary.Read(cr, binary.LittleEndian, &ver); err != nil {
+			return nil, fmt.Errorf("core: trainer checkpoint version: %w", err)
+		}
+		if ver != ckptTrainerVer {
+			return nil, fmt.Errorf("core: trainer checkpoint version %d, this build reads %d", ver, ckptTrainerVer)
+		}
+		h, err := readHeaderRaw(cr)
+		if err != nil {
+			return nil, err
+		}
+		m, err := modelFromHeader(h)
+		if err != nil {
+			return nil, err
+		}
+		if err := readMats(cr, m.Params(), "param"); err != nil {
+			return nil, err
+		}
+		// Drain the resume-only state so the checksum covers the whole
+		// stream: a server must not trust weights out of a corrupt file just
+		// because the damage sits in the optimizer section.
+		var epoch int64
+		var rngState uint64
+		var nDrops int64
+		if err := binary.Read(cr, binary.LittleEndian, &epoch); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &rngState); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &nDrops); err != nil {
+			return nil, err
+		}
+		if int(nDrops) != len(m.Dropouts) {
+			return nil, fmt.Errorf("core: trainer checkpoint has %d dropout streams, %d-layer model implies %d", nDrops, h.layers, len(m.Dropouts))
+		}
+		dropStates := make([]uint64, nDrops)
+		if err := binary.Read(cr, binary.LittleEndian, dropStates); err != nil {
+			return nil, err
+		}
+		var optKind uint32
+		if err := binary.Read(cr, binary.LittleEndian, &optKind); err != nil {
+			return nil, err
+		}
+		if optKind != optKindAdam {
+			return nil, fmt.Errorf("core: trainer checkpoint optimizer kind %d, want Adam (%d)", optKind, optKindAdam)
+		}
+		var stepCount int64
+		if err := binary.Read(cr, binary.LittleEndian, &stepCount); err != nil {
+			return nil, err
+		}
+		discard := stageLike(m.Params())
+		if err := readMats(cr, discard, "adam.m"); err != nil {
+			return nil, err
+		}
+		if err := readMats(cr, discard, "adam.v"); err != nil {
+			return nil, err
+		}
+		var storedCRC uint32
+		if err := binary.Read(br, binary.LittleEndian, &storedCRC); err != nil {
+			return nil, fmt.Errorf("core: trainer checkpoint checksum: %w (truncated file?)", err)
+		}
+		if storedCRC != cr.crc {
+			return nil, fmt.Errorf("core: trainer checkpoint checksum mismatch (stored %#x, computed %#x): truncated or corrupted file", storedCRC, cr.crc)
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("core: bad checkpoint magic %#x", magic)
+}
+
+// LoadModelFile hydrates a model from a checkpoint file of either format.
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	m, err := LoadModelFromCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// fsyncHook, when non-nil, observes the durability-critical steps of an
+// atomic checkpoint save in order ("sync-file", "rename", "sync-dir") — a
+// test seam pinning that the parent directory is synced AFTER the rename,
+// without which a crash between rename and the directory flush can lose the
+// newest generation entirely.
+var fsyncHook func(step, path string)
+
+// syncDir fsyncs a directory so a just-renamed entry survives a crash. The
+// rename itself only orders the file's data (synced before rename) against
+// the directory entry; the entry reaches disk only when the directory inode
+// does. Filesystems that cannot fsync a directory report EINVAL/ENOTSUP,
+// which is tolerated — there is nothing more userspace can do there.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil && (errors.Is(err, syscall.EINVAL) || errors.Is(err, syscall.ENOTSUP)) {
+		return nil
+	}
+	return err
+}
+
+// atomicWriteFile writes a file durably and atomically: the bytes land in
+// path+".tmp", are fsynced, are renamed into place only once complete, and
+// the parent directory is fsynced so the rename itself survives a crash. A
+// crash at any point leaves either the previous file intact or a stray .tmp
+// — never a torn file under the final name.
+func atomicWriteFile(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := SaveTrainerCheckpoint(f, rt); err != nil {
+	if err := write(f); err != nil {
 		f.Close()
 		os.Remove(tmp)
 		return err
@@ -392,6 +579,9 @@ func SaveTrainerCheckpointFile(path string, rt *RankTrainer) error {
 		os.Remove(tmp)
 		return err
 	}
+	if fsyncHook != nil {
+		fsyncHook("sync-file", tmp)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
@@ -400,7 +590,26 @@ func SaveTrainerCheckpointFile(path string, rt *RankTrainer) error {
 		os.Remove(tmp)
 		return err
 	}
+	if fsyncHook != nil {
+		fsyncHook("rename", path)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("core: sync checkpoint dir after rename: %w", err)
+	}
+	if fsyncHook != nil {
+		fsyncHook("sync-dir", filepath.Dir(path))
+	}
 	return nil
+}
+
+// SaveTrainerCheckpointFile writes a trainer checkpoint to path atomically
+// and durably (see atomicWriteFile) — which is what lets elastic recovery,
+// and the inference server, trust the newest generation found on disk even
+// across a crash right after the save returned.
+func SaveTrainerCheckpointFile(path string, rt *RankTrainer) error {
+	return atomicWriteFile(path, func(w io.Writer) error {
+		return SaveTrainerCheckpoint(w, rt)
+	})
 }
 
 // VerifyTrainerCheckpointFile checks that path holds a complete, intact
@@ -460,28 +669,14 @@ func LoadTrainerCheckpointFile(path string, rt *RankTrainer) error {
 	return LoadTrainerCheckpoint(f, rt)
 }
 
-// SaveCheckpointFile writes a checkpoint to path via the same
-// tmp-and-rename dance as SaveTrainerCheckpointFile.
+// SaveCheckpointFile writes a weights-only checkpoint to path via the same
+// durable tmp-fsync-rename-fsync dance as SaveTrainerCheckpointFile. (It
+// previously skipped both the file and the directory fsync — a crash after
+// return could lose the file or leave it torn under the final name.)
 func SaveCheckpointFile(path string, m *Model) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := SaveCheckpoint(f, m); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return nil
+	return atomicWriteFile(path, func(w io.Writer) error {
+		return SaveCheckpoint(w, m)
+	})
 }
 
 // LoadCheckpointFile loads a checkpoint from path into m.

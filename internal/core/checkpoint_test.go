@@ -425,3 +425,141 @@ func TestTrainerCheckpointSaveIsAtomic(t *testing.T) {
 		t.Fatalf("existing checkpoint no longer verifies: %v", err)
 	}
 }
+
+// TestModelHydrationFromCheckpoints pins the serving-side loader: a model
+// rebuilt from either checkpoint format's header alone — no pre-built model,
+// dataset, or optimizer — must carry bit-identical weights to the source.
+func TestModelHydrationFromCheckpoints(t *testing.T) {
+	ds := testDataset(t, 82)
+	topo := testTopology(t, ds, 2)
+	cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 3}
+	rt, err := NewRankTrainer(ds, topo, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	weights := dir + "/model.bnsc"
+	if err := SaveCheckpointFile(weights, rt.Model); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadModelFile(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Config.Arch != rt.Model.Config.Arch || m.InDim != rt.Model.InDim || m.OutDim != rt.Model.OutDim {
+		t.Fatalf("hydrated model is %s/%d->%d, source is %s/%d->%d",
+			m.Config.Arch, m.InDim, m.OutDim, rt.Model.Config.Arch, rt.Model.InDim, rt.Model.OutDim)
+	}
+	if d := MaxParamDiff(rt.Model, m); d != 0 {
+		t.Fatalf("weights-only hydration changed weights by %v", d)
+	}
+
+	trainer := dir + "/trainer.bnst"
+	if err := SaveTrainerCheckpointFile(trainer, rt); err != nil {
+		t.Fatal(err)
+	}
+	m2, err := LoadModelFile(trainer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxParamDiff(rt.Model, m2); d != 0 {
+		t.Fatalf("trainer-format hydration changed weights by %v", d)
+	}
+}
+
+// TestModelHydrationRejectsCorruption: the serving loader must reject a
+// damaged trainer checkpoint even though it discards the damaged sections —
+// the trailing CRC covers the whole stream.
+func TestModelHydrationRejectsCorruption(t *testing.T) {
+	ds := testDataset(t, 83)
+	topo := testTopology(t, ds, 2)
+	cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 3}
+	rt, err := NewRankTrainer(ds, topo, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	good := dir + "/good.bnst"
+	if err := SaveTrainerCheckpointFile(good, rt); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Bit flip deep in the optimizer section (last quarter of the file):
+	// hydration discards those bytes, but must still notice them.
+	flipped := append([]byte(nil), raw...)
+	flipped[len(flipped)-64] ^= 0x01
+	flip := dir + "/flip.bnst"
+	if err := os.WriteFile(flip, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(flip); err == nil {
+		t.Fatal("hydration accepted a checkpoint with a corrupt optimizer section")
+	}
+
+	trunc := dir + "/trunc.bnst"
+	if err := os.WriteFile(trunc, raw[:len(raw)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(trunc); err == nil {
+		t.Fatal("hydration accepted a truncated checkpoint")
+	}
+
+	junk := dir + "/junk.bin"
+	if err := os.WriteFile(junk, []byte("not a checkpoint at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadModelFile(junk); err == nil {
+		t.Fatal("hydration accepted garbage")
+	}
+}
+
+// TestCheckpointSaveSyncsDirAfterRename pins the durability sequence of both
+// save paths: file fsync before the rename, then a directory fsync AFTER the
+// rename. Without the trailing directory sync a crash can lose the rename
+// itself — the newest generation vanishes even though the save returned.
+func TestCheckpointSaveSyncsDirAfterRename(t *testing.T) {
+	ds := testDataset(t, 84)
+	topo := testTopology(t, ds, 2)
+	cfg := ParallelConfig{Model: testModelConfig(), P: 0.5, SampleSeed: 3}
+	rt, err := NewRankTrainer(ds, topo, cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []string
+	fsyncHook = func(step, path string) { steps = append(steps, step) }
+	defer func() { fsyncHook = nil }()
+
+	dir := t.TempDir()
+	want := []string{"sync-file", "rename", "sync-dir"}
+
+	steps = nil
+	if err := SaveTrainerCheckpointFile(dir+"/t.bnst", rt); err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("trainer save durability steps = %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("trainer save durability steps = %v, want %v", steps, want)
+		}
+	}
+
+	steps = nil
+	if err := SaveCheckpointFile(dir+"/m.bnsc", rt.Model); err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != len(want) {
+		t.Fatalf("model save durability steps = %v, want %v", steps, want)
+	}
+	for i := range want {
+		if steps[i] != want[i] {
+			t.Fatalf("model save durability steps = %v, want %v", steps, want)
+		}
+	}
+}

@@ -44,16 +44,12 @@ func SaveGeneration(dir string, gen int, rt *core.RankTrainer) error {
 	return core.SaveTrainerCheckpointFile(CheckpointPath(dir, rt.Rank, gen), rt)
 }
 
-// LatestValidGen scans dir for the newest checkpoint generation of rank
-// that actually verifies — right magic, right version, intact trailing CRC.
-// Torn files never pass (the atomic save leaves them under a .tmp name the
-// scan ignores; a bit-rotted or truncated file fails its checksum), so a
-// corrupt latest generation silently falls back to the one before it.
-// Returns 0 — fresh start — when dir has no loadable checkpoint for rank.
-func LatestValidGen(dir string, rank int) int {
+// listGens returns every checkpoint generation present on disk for rank,
+// ascending, verified or not.
+func listGens(dir string, rank int) []int {
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return 0
+		return nil
 	}
 	prefix := fmt.Sprintf("ckpt-r%03d-g", rank)
 	var gens []int
@@ -68,13 +64,85 @@ func LatestValidGen(dir string, rank int) int {
 		}
 		gens = append(gens, g)
 	}
-	sort.Sort(sort.Reverse(sort.IntSlice(gens)))
-	for _, g := range gens {
-		if core.VerifyTrainerCheckpointFile(CheckpointPath(dir, rank, g)) == nil {
-			return g
+	sort.Ints(gens)
+	return gens
+}
+
+// LatestValidGen scans dir for the newest checkpoint generation of rank
+// that actually verifies — right magic, right version, intact trailing CRC.
+// Torn files never pass (the atomic save leaves them under a .tmp name the
+// scan ignores; a bit-rotted or truncated file fails its checksum), so a
+// corrupt latest generation silently falls back to the one before it.
+// Returns 0 — fresh start — when dir has no loadable checkpoint for rank.
+func LatestValidGen(dir string, rank int) int {
+	gens := listGens(dir, rank)
+	for i := len(gens) - 1; i >= 0; i-- {
+		if core.VerifyTrainerCheckpointFile(CheckpointPath(dir, rank, gens[i])) == nil {
+			return gens[i]
 		}
 	}
 	return 0
+}
+
+// CleanupTmp removes orphan checkpoint .tmp files — the residue of saves
+// that crashed between writing the temporary and renaming it into place.
+// Without this sweep every crash leaks a full-sized file forever. rank < 0
+// sweeps all ranks (the in-process Supervisor owns the whole directory);
+// a multi-process rank passes its own number so a peer's in-flight save is
+// never swept out from under its rename. Call it at bootstrap only, before
+// any training resumes — a live save's .tmp must not be removed.
+func CleanupTmp(dir string, rank int) (int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	prefix := "ckpt-r"
+	if rank >= 0 {
+		prefix = fmt.Sprintf("ckpt-r%03d-g", rank)
+	}
+	removed := 0
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, ".bnst.tmp") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
+}
+
+// PruneGenerations bounds checkpoint-directory growth: it retains rank's
+// newest keep generations plus the floor generation and deletes the rest.
+// floor is the cohort's min-consensus generation — the one every rank agreed
+// to resume from — and is never deleted, so a recovery (or a re-admitted
+// replacement resuming from stale files) can always fall back to it; at most
+// keep+1 files per rank remain. keep <= 0 means unlimited retention (the
+// prior behavior) and prunes nothing. Returns the number of files removed.
+func PruneGenerations(dir string, rank, keep, floor int) (int, error) {
+	if keep <= 0 {
+		return 0, nil
+	}
+	gens := listGens(dir, rank)
+	if len(gens) <= keep {
+		return 0, nil
+	}
+	removed := 0
+	for _, g := range gens[:len(gens)-keep] {
+		if g == floor {
+			continue
+		}
+		if err := os.Remove(CheckpointPath(dir, rank, g)); err != nil {
+			return removed, err
+		}
+		removed++
+	}
+	return removed, nil
 }
 
 // LoadGeneration restores generation gen into rt (a no-op for gen 0). After

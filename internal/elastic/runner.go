@@ -125,9 +125,20 @@ func runGeneration(cfg *RunnerConfig) (*core.RankTrainer, int, error) {
 		tp.Close()
 		return nil, tbl.startGen, fmt.Errorf("elastic: rank %d: load gen %d: %w", cfg.Rank, tbl.startGen, err)
 	}
+	// Bootstrap-time GC, scoped to this rank's own files: peers share the
+	// directory and may not have torn down yet, so only our .tmp residue and
+	// our generations older than the agreed consensus are swept.
+	if _, err := CleanupTmp(cfg.Dir, cfg.Rank); err != nil {
+		tp.Close()
+		return nil, tbl.startGen, fmt.Errorf("elastic: rank %d: tmp cleanup: %w", cfg.Rank, err)
+	}
+	if _, err := PruneGenerations(cfg.Dir, cfg.Rank, cfg.KeepGenerations, tbl.startGen); err != nil {
+		tp.Close()
+		return nil, tbl.startGen, fmt.Errorf("elastic: rank %d: checkpoint GC: %w", cfg.Rank, err)
+	}
 
 	w := comm.NewWorker(tp)
-	if err := trainRank(&cfg.Config, rt, w, cfg.OnEpoch); err != nil {
+	if err := trainRank(&cfg.Config, rt, w, tbl.startGen, cfg.OnEpoch); err != nil {
 		tp.Close()
 		return nil, tbl.startGen, err
 	}

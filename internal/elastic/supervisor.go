@@ -26,6 +26,12 @@ type Config struct {
 	// MaxRecoveries bounds how many failures the loop absorbs before giving
 	// up and returning the underlying error.
 	MaxRecoveries int
+	// KeepGenerations, when positive, bounds on-disk checkpoint growth: after
+	// each save a rank prunes its own generations down to the newest
+	// KeepGenerations, never deleting the generation the cohort last agreed
+	// to resume from (see PruneGenerations). Zero keeps everything — the
+	// prior behavior.
+	KeepGenerations int
 }
 
 func (c *Config) validate() error {
@@ -65,7 +71,10 @@ func recoverable(err error) bool {
 // generation checkpoint every cfg.Every epochs. The MarkEpoch call at the
 // top of each epoch is what lets a comm.WithFaults plan kill this rank at a
 // deterministic epoch boundary; on plain transports it is a no-op.
-func trainRank(cfg *Config, rt *core.RankTrainer, w *comm.Worker, onEpoch func(*core.RankTrainer, core.RankStats)) error {
+// startGen is the generation the cohort agreed to resume from at the last
+// bootstrap — the floor the post-save GC must never prune past, since any
+// future recovery's consensus can fall back to it.
+func trainRank(cfg *Config, rt *core.RankTrainer, w *comm.Worker, startGen int, onEpoch func(*core.RankTrainer, core.RankStats)) error {
 	for rt.Epoch() < cfg.Epochs {
 		if err := comm.MarkEpoch(w.Transport(), rt.Epoch()); err != nil {
 			return fmt.Errorf("elastic: rank %d: %w", rt.Rank, err)
@@ -80,6 +89,9 @@ func trainRank(cfg *Config, rt *core.RankTrainer, w *comm.Worker, onEpoch func(*
 		if rt.Epoch()%cfg.Every == 0 {
 			if err := SaveGeneration(cfg.Dir, rt.Epoch()/cfg.Every, rt); err != nil {
 				return fmt.Errorf("elastic: rank %d: checkpoint save: %w", rt.Rank, err)
+			}
+			if _, err := PruneGenerations(cfg.Dir, rt.Rank, cfg.KeepGenerations, startGen); err != nil {
+				return fmt.Errorf("elastic: rank %d: checkpoint GC: %w", rt.Rank, err)
 			}
 		}
 	}
@@ -146,6 +158,19 @@ func (s *Supervisor) Run() ([]*core.RankTrainer, Report, error) {
 				return nil, rep, fmt.Errorf("elastic: generation %d: load gen %d: %w", gen, start, err)
 			}
 		}
+		// Bootstrap-time GC: sweep .tmp residue of crashed saves (all ranks —
+		// the Supervisor owns the directory, nothing else is saving) and prune
+		// generations older than the consensus everyone just agreed to.
+		if _, err := CleanupTmp(s.Cfg.Dir, -1); err != nil {
+			g.Close()
+			return nil, rep, fmt.Errorf("elastic: generation %d: tmp cleanup: %w", gen, err)
+		}
+		for r := 0; r < k; r++ {
+			if _, err := PruneGenerations(s.Cfg.Dir, r, s.Cfg.KeepGenerations, start); err != nil {
+				g.Close()
+				return nil, rep, fmt.Errorf("elastic: generation %d: checkpoint GC: %w", gen, err)
+			}
+		}
 
 		errs := make([]error, k)
 		var wg sync.WaitGroup
@@ -153,7 +178,7 @@ func (s *Supervisor) Run() ([]*core.RankTrainer, Report, error) {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				errs[r] = trainRank(&s.Cfg, trainers[r], g.Worker(r), s.OnEpoch)
+				errs[r] = trainRank(&s.Cfg, trainers[r], g.Worker(r), start, s.OnEpoch)
 			}(r)
 		}
 		wg.Wait()

@@ -1,0 +1,206 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/serve"
+)
+
+func init() {
+	register("serve", "Online serving: one-at-a-time vs coalesced row-subset passes", runServe)
+}
+
+// serveModeResult is one load-test mode's measurements. Lookups/s is the
+// cross-mode comparable number (a request may carry several node lookups);
+// the latency quantiles are per request.
+type serveModeResult struct {
+	Mode        string  `json:"mode"`
+	Clients     int     `json:"clients"`
+	PerRequest  int     `json:"lookups_per_request"`
+	Lookups     int     `json:"lookups"`
+	LookupsPerS float64 `json:"lookups_per_sec"`
+	P50US       float64 `json:"p50_us"`
+	P99US       float64 `json:"p99_us"`
+	AvgBatch    float64 `json:"avg_coalesced_requests"`
+	MaxBatch    int     `json:"max_coalesced_requests"`
+	HitRate     float64 `json:"cache_hit_rate"`
+}
+
+// serveBenchReport is the machine-readable BENCH_serve.json payload.
+type serveBenchReport struct {
+	Workload   string            `json:"workload"`
+	Nodes      int               `json:"nodes"`
+	Layers     int               `json:"layers"`
+	Hidden     int               `json:"hidden"`
+	CacheRows  int               `json:"cache_rows"`
+	MaxBatch   int               `json:"max_batch"`
+	GOMAXPROCS int               `json:"gomaxprocs"`
+	Results    []serveModeResult `json:"results"`
+	// SpeedupX is coalesced lookups/s over one-at-a-time lookups/s: the
+	// measured value of answering a batch with one row-subset pass.
+	SpeedupX float64 `json:"batched_speedup_x"`
+}
+
+// loadTest drives totalLookups node lookups at the server from the given
+// number of clients, perReq pseudo-randomly chosen nodes per request, and
+// returns per-request latencies. Node choice is seeded per client so every
+// mode sees the same access distribution.
+func loadTest(srv *serve.Server, nodes, clients, perReq, totalLookups int, seed uint64) ([]time.Duration, error) {
+	perClient := totalLookups / (clients * perReq)
+	lat := make([][]time.Duration, clients)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(seed) + int64(c)))
+			lat[c] = make([]time.Duration, 0, perClient)
+			req := make([]int32, perReq)
+			for i := 0; i < perClient; i++ {
+				for j := range req {
+					req[j] = int32(rng.Intn(nodes))
+				}
+				t0 := time.Now()
+				if _, err := srv.Predict(req); err != nil {
+					errs <- err
+					return
+				}
+				lat[c] = append(lat[c], time.Since(t0))
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	var all []time.Duration
+	for _, l := range lat {
+		all = append(all, l...)
+	}
+	return all, nil
+}
+
+func quantileUS(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return float64(sorted[i].Nanoseconds()) / 1e3
+}
+
+// runServe measures the serving engine under three request patterns on the
+// same checkpointless reddit-sim model, a fresh engine and cache per mode:
+//
+//   - one-at-a-time: one client, one node per request — every lookup pays a
+//     full dispatcher round trip and a one-row pass. The baseline.
+//   - concurrent: a fleet of single-node clients. The dispatcher coalesces
+//     whatever queued while a pass ran; how much actually coalesces depends
+//     on cores (on one CPU, clients cannot enqueue while a pass runs, so the
+//     realized batch stays near 1 — the avg/max coalesced columns report it
+//     honestly).
+//   - coalesced: the engine work the dispatcher runs when max-batch
+//     single-node queries are queued — one row-subset pass over the whole
+//     batch — driven deterministically by issuing that many lookups per
+//     request. The lookups/s ratio against the baseline is the measured
+//     value of batching.
+func runServe(w io.Writer, o Options) error {
+	o = o.withDefaults()
+	spec := redditSpec()
+	ds, err := dataset(spec, o)
+	if err != nil {
+		return err
+	}
+	mc := spec.model
+	mc.Seed = o.Seed
+
+	const cacheFrac = 4 // cache holds N/4 rows: misses stay common at steady state
+	const maxBatch = 32
+	total := 80000
+	if o.Quick {
+		total = 8000
+	}
+
+	modes := []struct {
+		name    string
+		clients int
+		perReq  int
+	}{
+		{"one-at-a-time", 1, 1},
+		{"concurrent", maxBatch, 1},
+		{"coalesced", 1, maxBatch},
+	}
+
+	report := serveBenchReport{
+		Workload: ds.Name, Nodes: ds.G.N, Layers: mc.Layers, Hidden: mc.Hidden,
+		CacheRows: ds.G.N / cacheFrac, MaxBatch: maxBatch, GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	tw := newTabWriter(w)
+	fmt.Fprintf(tw, "mode\tclients\tlookups/req\tlookups/s\tp50(us)\tp99(us)\tavg coalesced\tmax\thit rate\n")
+	for _, m := range modes {
+		model, err := core.NewModel(mc, ds.FeatureDim(), ds.NumClasses)
+		if err != nil {
+			return err
+		}
+		eng, err := serve.NewEngine(model, ds.G, ds.Features, ds.G.N/cacheFrac)
+		if err != nil {
+			return err
+		}
+		srv := serve.NewServer(eng, serve.ServerConfig{MaxBatch: maxBatch})
+		start := time.Now()
+		lats, err := loadTest(srv, ds.G.N, m.clients, m.perReq, total, o.Seed)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		wall := time.Since(start)
+		st, err := srv.Stats()
+		srv.Close()
+		if err != nil {
+			return err
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		res := serveModeResult{
+			Mode: m.name, Clients: m.clients, PerRequest: m.perReq,
+			Lookups:     len(lats) * m.perReq,
+			LookupsPerS: float64(len(lats)*m.perReq) / wall.Seconds(),
+			P50US:       quantileUS(lats, 0.50),
+			P99US:       quantileUS(lats, 0.99),
+			AvgBatch:    float64(st.Batched) / float64(st.Batches),
+			MaxBatch:    st.MaxBatched,
+			HitRate:     float64(st.Hits) / float64(st.Hits+st.Misses),
+		}
+		report.Results = append(report.Results, res)
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%.0f\t%.1f\t%.1f\t%.2f\t%d\t%s\n",
+			res.Mode, res.Clients, res.PerRequest, res.LookupsPerS,
+			res.P50US, res.P99US, res.AvgBatch, res.MaxBatch, pct(res.HitRate))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	report.SpeedupX = report.Results[2].LookupsPerS / report.Results[0].LookupsPerS
+	fmt.Fprintf(w, "\ncoalesced-pass throughput: %.2fx one-at-a-time\n", report.SpeedupX)
+
+	if o.OutPath != "" {
+		raw, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.OutPath, append(raw, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", o.OutPath)
+	}
+	return nil
+}

@@ -10,7 +10,11 @@ import (
 )
 
 // Accuracy returns the fraction of masked rows whose argmax logit equals the
-// label. Returns 0 when the mask is empty.
+// label. Ties break to the lowest class index (deterministic first-wins).
+// NaN logits never win the argmax, and a row with no comparable value at all
+// — every logit NaN — counts as wrong rather than silently predicting class
+// 0: a diverged model must read as 0 accuracy, not ~1/nClasses. Returns 0
+// when the mask is empty.
 func Accuracy(logits *tensor.Matrix, labels []int32, mask []bool) float64 {
 	if len(labels) < logits.Rows || len(mask) < logits.Rows {
 		panic(fmt.Sprintf("metrics: need %d labels/mask, have %d/%d", logits.Rows, len(labels), len(mask)))
@@ -22,13 +26,16 @@ func Accuracy(logits *tensor.Matrix, labels []int32, mask []bool) float64 {
 		}
 		total++
 		row := logits.Row(i)
-		best := 0
+		best := -1
 		for j, v := range row {
-			if v > row[best] {
+			if v != v { // NaN
+				continue
+			}
+			if best < 0 || v > row[best] {
 				best = j
 			}
 		}
-		if int32(best) == labels[i] {
+		if best >= 0 && int32(best) == labels[i] {
 			correct++
 		}
 	}

@@ -1,0 +1,60 @@
+package serve
+
+import "container/list"
+
+// lruCache is a fixed-capacity least-recently-used map from node id to its
+// cached logit row. Plain intrusive-list LRU; no concurrency — the engine's
+// single owner is the only caller.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recently used
+	items map[int32]*list.Element
+}
+
+type lruEntry struct {
+	node int32
+	row  []float32
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: make(map[int32]*list.Element, capacity)}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }
+
+// get returns the cached row and bumps it to most-recently-used.
+func (c *lruCache) get(node int32) ([]float32, bool) {
+	el, ok := c.items[node]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).row, true
+}
+
+// put inserts or refreshes a row, evicting the least-recently-used entry
+// when over capacity.
+func (c *lruCache) put(node int32, row []float32) {
+	if el, ok := c.items[node]; ok {
+		el.Value.(*lruEntry).row = row
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[node] = c.order.PushFront(&lruEntry{node: node, row: row})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).node)
+	}
+}
+
+// remove drops a node's entry, reporting whether it was present.
+func (c *lruCache) remove(node int32) bool {
+	el, ok := c.items[node]
+	if !ok {
+		return false
+	}
+	c.order.Remove(el)
+	delete(c.items, node)
+	return true
+}

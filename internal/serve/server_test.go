@@ -1,0 +1,266 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func testServer(t *testing.T) (*Server, *httptest.Server, *core.FullTrainer) {
+	t.Helper()
+	ds := testDataset(t, 21)
+	ft, _ := trainedModel(t, ds, core.ArchSAGE, 2)
+	eng, err := NewEngine(ft.Model, ds.G, ds.Features, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(eng, ServerConfig{MaxBatch: 16})
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() { hs.Close(); srv.Close() })
+	return srv, hs, ft
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("%s: %v", url, err)
+	}
+	return resp.StatusCode
+}
+
+type predictBody struct {
+	Nodes   []int32     `json:"nodes"`
+	Classes []int       `json:"classes"`
+	Logits  [][]float32 `json:"logits"`
+}
+
+// TestHTTPEndpoints drives every endpoint through a real HTTP round trip
+// and checks the served logits against the trainer's inference bits.
+func TestHTTPEndpoints(t *testing.T) {
+	_, hs, ft := testServer(t)
+	ref := ft.Forward(false)
+
+	var health map[string]any
+	if code := getJSON(t, hs.URL+"/v1/healthz", &health); code != http.StatusOK {
+		t.Fatalf("healthz status %d", code)
+	}
+	if health["status"] != "ok" {
+		t.Fatalf("healthz %v", health)
+	}
+
+	// Query-string form.
+	var pr predictBody
+	if code := getJSON(t, hs.URL+"/v1/predict?nodes=0,5,9", &pr); code != http.StatusOK {
+		t.Fatalf("predict status %d", code)
+	}
+	if len(pr.Logits) != 3 || len(pr.Classes) != 3 {
+		t.Fatalf("predict returned %d logits, %d classes", len(pr.Logits), len(pr.Classes))
+	}
+	for i, v := range []int{0, 5, 9} {
+		if !rowsEqual(pr.Logits[i], ref.Row(v)) {
+			t.Fatalf("node %d: HTTP logits differ from trainer inference", v)
+		}
+		if pr.Classes[i] != argmax(ref.Row(v)) {
+			t.Fatalf("node %d: class %d, want %d", v, pr.Classes[i], argmax(ref.Row(v)))
+		}
+	}
+
+	// JSON-body form must agree with the query form.
+	var pr2 predictBody
+	if code := postJSON(t, hs.URL+"/v1/predict", map[string]any{"nodes": []int32{5}}, &pr2); code != http.StatusOK {
+		t.Fatalf("predict POST status %d", code)
+	}
+	if !rowsEqual(pr2.Logits[0], pr.Logits[1]) {
+		t.Fatal("POST and GET predict disagree")
+	}
+
+	// Update shifts the node's logits; a fresh predict must see it.
+	feats := make([]float32, ft.DS.FeatureDim())
+	for j := range feats {
+		feats[j] = 2
+	}
+	var ur map[string]any
+	if code := postJSON(t, hs.URL+"/v1/update", map[string]any{"node": 5, "features": feats}, &ur); code != http.StatusOK {
+		t.Fatalf("update status %d: %v", code, ur)
+	}
+	if ur["touched"].(float64) <= 0 {
+		t.Fatalf("update touched %v rows", ur["touched"])
+	}
+	var pr3 predictBody
+	getJSON(t, hs.URL+"/v1/predict?nodes=5", &pr3)
+	if rowsEqual(pr3.Logits[0], pr.Logits[1]) {
+		t.Fatal("logits unchanged after a feature update")
+	}
+
+	var st ServerStats
+	if code := getJSON(t, hs.URL+"/v1/stats", &st); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if st.Predicts == 0 || st.Batches == 0 || st.Updates != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	// Bad requests get 4xx, not a hang or a panic.
+	var e map[string]any
+	if code := getJSON(t, hs.URL+"/v1/predict?nodes=999999", &e); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range predict status %d", code)
+	}
+	if code := getJSON(t, hs.URL+"/v1/predict?nodes=abc", &e); code != http.StatusBadRequest {
+		t.Fatalf("garbage predict status %d", code)
+	}
+	if code := postJSON(t, hs.URL+"/v1/update", map[string]any{"node": 0, "features": []float32{1}}, &e); code != http.StatusBadRequest {
+		t.Fatalf("bad-width update status %d", code)
+	}
+}
+
+// TestConcurrentClientsBatchAndAgree hammers the server from many goroutines
+// (this test is the -race exercise for the dispatcher) and checks that every
+// response carries the right bits and that coalescing actually happened.
+func TestConcurrentClientsBatchAndAgree(t *testing.T) {
+	srv, hs, ft := testServer(t)
+	ref := ft.Forward(false)
+	n := ft.DS.G.N
+
+	const clients, perClient = 16, 30
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				v := (c*perClient + i*7) % n
+				var pr predictBody
+				resp, err := http.Get(fmt.Sprintf("%s/v1/predict?nodes=%d", hs.URL, v))
+				if err != nil {
+					errs <- err
+					return
+				}
+				err = json.NewDecoder(resp.Body).Decode(&pr)
+				resp.Body.Close()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !rowsEqual(pr.Logits[0], ref.Row(v)) {
+					errs <- fmt.Errorf("node %d: concurrent response has wrong bits", v)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st, err := srv.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batched != clients*perClient {
+		t.Fatalf("answered %d requests, want %d", st.Batched, clients*perClient)
+	}
+}
+
+// TestDispatcherCoalescesQueuedRequests pins the batching mechanism itself,
+// deterministically: requests staged in the queue before the dispatcher
+// wakes must be answered by ONE engine pass — and each response must carry
+// its own request's rows, in order, despite the shared pass.
+func TestDispatcherCoalescesQueuedRequests(t *testing.T) {
+	ds := testDataset(t, 23)
+	ft, _ := trainedModel(t, ds, core.ArchSAGE, 2)
+	ref := ft.Forward(false)
+	eng, err := NewEngine(ft.Model, ds.G, ds.Features, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(eng, ServerConfig{MaxBatch: 16})
+	// Stage 8 requests — some multi-node, one duplicating another's node —
+	// in the buffered queue, THEN start the dispatcher.
+	reqs := [][]int32{{0}, {1, 2}, {3}, {1}, {4, 5, 6}, {7}, {8}, {2}}
+	resps := make([]chan predictResp, len(reqs))
+	for i, nodes := range reqs {
+		resps[i] = make(chan predictResp, 1)
+		srv.reqCh <- predictReq{nodes: nodes, resp: resps[i]}
+	}
+	go srv.dispatch()
+	defer srv.Close()
+	for i, nodes := range reqs {
+		r := <-resps[i]
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		if len(r.rows) != len(nodes) {
+			t.Fatalf("request %d got %d rows for %d nodes", i, len(r.rows), len(nodes))
+		}
+		for j, v := range nodes {
+			if !rowsEqual(r.rows[j], ref.Row(int(v))) {
+				t.Fatalf("request %d node %d: wrong bits out of the coalesced pass", i, v)
+			}
+		}
+	}
+	st, err := srv.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Batches != 1 || st.Batched != int64(len(reqs)) || st.MaxBatched != len(reqs) {
+		t.Fatalf("staged queue should drain in one pass: %+v", st)
+	}
+	// All 11 lookups are cold (a within-pass duplicate is not a cache hit),
+	// but the pass itself dedups: only the 9 distinct nodes enter the cache.
+	if st.Misses != 11 || st.Hits != 0 || st.CacheLen != 9 {
+		t.Fatalf("coalesced pass dedup: %+v", st)
+	}
+}
+
+// TestServerClose: a closed server answers with errors, not deadlocks.
+func TestServerClose(t *testing.T) {
+	ds := testDataset(t, 22)
+	ft, _ := trainedModel(t, ds, core.ArchSAGE, 2)
+	eng, err := NewEngine(ft.Model, ds.G, ds.Features, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(eng, ServerConfig{})
+	if _, err := srv.Predict([]int32{0}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := srv.Predict([]int32{0}); err == nil {
+		t.Fatal("predict succeeded after Close")
+	}
+	if _, err := srv.Update(0, make([]float32, ds.FeatureDim())); err == nil {
+		t.Fatal("update succeeded after Close")
+	}
+	if _, err := srv.Stats(); err == nil {
+		t.Fatal("stats succeeded after Close")
+	}
+	srv.Close() // idempotent
+}
