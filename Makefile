@@ -12,7 +12,7 @@ export GOAMD64
 
 GO ?= go
 
-.PHONY: build test race bench bench-spmm bench-epoch bench-serve vet release
+.PHONY: build test race bench bench-spmm bench-fused bench-epoch bench-serve vet release
 
 build:
 	$(GO) build ./...
@@ -30,10 +30,15 @@ race:
 bench-spmm:
 	$(GO) test -run=xxx -bench='BenchmarkSpMM|BenchmarkMatMul$$' -benchtime=2s ./internal/tensor/
 
+# Fused aggregate-project kernels against the unfused SpMM+copy+MatMul
+# pipeline they replace (forward and the backward split sweep).
+bench-fused:
+	$(GO) test -run=xxx -bench='BenchmarkAggProj|BenchmarkBackwardSplit' -benchtime=2s ./internal/tensor/
+
 bench-epoch:
 	$(GO) test -run=xxx -bench='BenchmarkEpoch' -benchtime=100x ./internal/core/
 
-bench: bench-spmm bench-epoch
+bench: bench-spmm bench-fused bench-epoch
 
 # The serving load test behind BENCH_serve.json.
 bench-serve:

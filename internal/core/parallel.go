@@ -471,7 +471,9 @@ func NewRankTrainer(ds *datagen.Dataset, topo *Topology, cfg ParallelConfig, ran
 		arrCh: make(chan int, topo.K),
 	}
 	// The layers aggregate over the per-epoch subgraph; install its plan
-	// once — the pointer is stable, epochGraph rebuilds the contents.
+	// once — the pointer is stable, epochGraph rebuilds the contents (and
+	// bumps the plan generation, so the fused kernels' FLOP-weighted chunk
+	// lists refresh lazily on first use each epoch).
 	rt.Model.SetAgg(rt.LP.agg)
 	// The loss normalizer is the global number of training nodes, which is a
 	// property of the dataset alone — no cross-rank exchange needed.

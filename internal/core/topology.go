@@ -123,7 +123,10 @@ func (t *Topology) BoundaryRatios() []float64 {
 // MemoryCost returns the paper's Eq. 4 for one partition in bytes: each
 // GraphSAGE layer with input dimension d stores 3·nIn + nBd feature rows
 // (input features of inner+boundary nodes, aggregated features, and the
-// concat half kept for backward), 4 bytes per float32.
+// concat half kept for backward), 4 bytes per float32. The fused
+// aggregate-project engine actually stores less — it keeps only the
+// aggregated half z instead of the full concat, 2·nIn + nBd rows — but the
+// partitioner keeps the paper's accounting as a conservative bound.
 func MemoryCost(nIn, nBd int, layerInputDims []int) int64 {
 	var floats int64
 	for _, d := range layerInputDims {

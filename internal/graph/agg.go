@@ -33,6 +33,20 @@ type AggIndex struct {
 	IncChunks []int32
 
 	fill []int64 // build scratch: per-destination write cursor
+
+	// ChunksFor state: the outgoing CSR the plan was built from, a build
+	// generation counter, and one cached weighted-chunk list per row cost.
+	outIndptr []int64
+	gen       uint64
+	costCache []costChunks
+}
+
+// costChunks is one ChunksFor cache entry: the chunk list for a per-row
+// extra cost, tagged with the build generation it was derived at.
+type costChunks struct {
+	extraRowCost int64
+	gen          uint64
+	chunks       []int32
 }
 
 // NewAggIndex builds the aggregation plan for g.
@@ -73,6 +87,49 @@ func (ai *AggIndex) Build(g *Graph) {
 	target := ChunkTarget(g.Indptr, runtime.GOMAXPROCS(0))
 	ai.Chunks = EdgeChunks(g.Indptr, target, ai.Chunks[:0])
 	ai.IncChunks = EdgeChunks(ai.IncIndptr, target, ai.IncChunks[:0])
+
+	// Weighted chunk lists are derived lazily: bump the generation so every
+	// cached ChunksFor entry recomputes against the fresh indptr on first use.
+	ai.outIndptr = g.Indptr
+	ai.gen++
+}
+
+// ChunksFor returns edge-balanced chunk boundaries over the outgoing CSR
+// where every row weighs extraRowCost edge-equivalents on top of its edge
+// count (and the baseline per-row cost). The fused aggregate-project kernel
+// needs this: projection adds 2·InDim·OutDim FLOPs per row — about 2·OutDim
+// edge-equivalents, since one edge gather is an InDim-wide add — so
+// edge-count-only balancing hands a worker whose rows are low-degree far more
+// projection work than its chunk weight suggests on wide layers.
+// extraRowCost = 0 degenerates to the Chunks weighting.
+//
+// Lists are cached per cost and rebuilt lazily after each Build, reusing
+// their storage — allocation-free in steady state, like Build itself. Not
+// safe for concurrent use (same contract as Build).
+func (ai *AggIndex) ChunksFor(extraRowCost int64) []int32 {
+	if extraRowCost < 0 {
+		extraRowCost = 0
+	}
+	for i := range ai.costCache {
+		e := &ai.costCache[i]
+		if e.extraRowCost == extraRowCost {
+			if e.gen != ai.gen {
+				ai.fillCostChunks(e)
+			}
+			return e.chunks
+		}
+	}
+	ai.costCache = append(ai.costCache, costChunks{extraRowCost: extraRowCost})
+	e := &ai.costCache[len(ai.costCache)-1]
+	ai.fillCostChunks(e)
+	return e.chunks
+}
+
+func (ai *AggIndex) fillCostChunks(e *costChunks) {
+	rowCost := chunkRowCost + e.extraRowCost
+	target := ChunkTargetCost(ai.outIndptr, runtime.GOMAXPROCS(0), rowCost)
+	e.chunks = EdgeChunksCost(ai.outIndptr, target, rowCost, e.chunks[:0])
+	e.gen = ai.gen
 }
 
 // chunkRowCost is the fixed per-row weight EdgeChunks adds to a row's edge
@@ -90,11 +147,19 @@ const minChunkWeight = 2048
 // gets twice the chunks, so the dynamic claim can route small chunks around
 // the mega rows that each occupy a worker for a whole chunk's worth of time.
 func ChunkTarget(indptr []int64, workers int) int64 {
+	return ChunkTargetCost(indptr, workers, chunkRowCost)
+}
+
+// ChunkTargetCost is ChunkTarget with an explicit per-row weight (edge
+// equivalents added to each row's edge count) — the fused aggregate-project
+// kernels account their per-row projection FLOPs this way (see
+// AggIndex.ChunksFor).
+func ChunkTargetCost(indptr []int64, workers int, rowCost int64) int64 {
 	n := len(indptr) - 1
 	if n <= 0 {
 		return minChunkWeight
 	}
-	total := indptr[n] - indptr[0] + int64(n)*chunkRowCost
+	total := indptr[n] - indptr[0] + int64(n)*rowCost
 	if workers <= 1 {
 		// One worker claims everything anyway: a single chunk skips the
 		// whole claim machinery (and its escaping closures) on 1-CPU hosts.
@@ -132,6 +197,12 @@ func histogramSkew(indptr []int64) int {
 // start at 0, end at the row count, and a chunk exceeds target only when a
 // single row does. The result is appended to into (pass into[:0] to reuse).
 func EdgeChunks(indptr []int64, target int64, into []int32) []int32 {
+	return EdgeChunksCost(indptr, target, chunkRowCost, into)
+}
+
+// EdgeChunksCost is EdgeChunks with an explicit per-row weight, the cutting
+// half of the ChunkTargetCost pairing.
+func EdgeChunksCost(indptr []int64, target, rowCost int64, into []int32) []int32 {
 	n := len(indptr) - 1
 	if target < 1 {
 		target = 1
@@ -139,7 +210,7 @@ func EdgeChunks(indptr []int64, target int64, into []int32) []int32 {
 	into = append(into, 0)
 	var w int64
 	for v := 0; v < n; v++ {
-		w += indptr[v+1] - indptr[v] + chunkRowCost
+		w += indptr[v+1] - indptr[v] + rowCost
 		if w >= target {
 			into = append(into, int32(v+1))
 			w = 0

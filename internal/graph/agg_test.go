@@ -2,6 +2,7 @@ package graph
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 )
 
@@ -129,6 +130,120 @@ func TestChunkTarget(t *testing.T) {
 	}
 	chunks := EdgeChunks(g.Indptr, tg, nil)
 	checkChunks(t, g.Indptr, chunks, tg)
+}
+
+// checkChunksCost is checkChunks with an explicit per-row weight.
+func checkChunksCost(t *testing.T, indptr []int64, chunks []int32, target, rowCost int64) {
+	t.Helper()
+	n := len(indptr) - 1
+	if chunks[0] != 0 || chunks[len(chunks)-1] != int32(n) {
+		t.Fatalf("chunk endpoints [%d,%d], want [0,%d]", chunks[0], chunks[len(chunks)-1], n)
+	}
+	for c := 0; c+1 < len(chunks); c++ {
+		lo, hi := chunks[c], chunks[c+1]
+		if lo >= hi {
+			t.Fatalf("chunk %d empty or descending: [%d,%d)", c, lo, hi)
+		}
+		w := indptr[hi] - indptr[lo] + int64(hi-lo)*rowCost
+		if w > target && hi-lo > 1 {
+			prev := indptr[hi-1] - indptr[lo] + int64(hi-1-lo)*rowCost
+			if prev >= target {
+				t.Fatalf("chunk %d [%d,%d) weight %d exceeds target %d before its last row", c, lo, hi, w, target)
+			}
+		}
+	}
+}
+
+// maxChunkCost returns the heaviest chunk's weighted cost.
+func maxChunkCost(indptr []int64, chunks []int32, rowCost int64) int64 {
+	var worst int64
+	for c := 0; c+1 < len(chunks); c++ {
+		lo, hi := chunks[c], chunks[c+1]
+		w := indptr[hi] - indptr[lo] + int64(hi-lo)*rowCost
+		if w > worst {
+			worst = w
+		}
+	}
+	return worst
+}
+
+// TestEdgeChunksCostSkewedWideHidden is the regression the fused kernels'
+// FLOP-weighted chunking exists for: a skewed-degree graph (one mega row,
+// thousands of near-empty rows) under a wide hidden layer. Edge-count-only
+// balancing cuts the low-degree run into a few huge chunks — cheap in edges,
+// enormous in projection FLOPs — while cost-weighted cutting bounds every
+// chunk's true cost by the target.
+func TestEdgeChunksCostSkewedWideHidden(t *testing.T) {
+	const n, megaDeg, workers = 4096, 32768, 8
+	indptr := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		indptr[v+1] = indptr[v]
+		if v == 0 {
+			indptr[v+1] += megaDeg
+		}
+	}
+	// Wide hidden: 2·OutDim edge-equivalents per row at OutDim=256.
+	rowCost := chunkRowCost + int64(2*256)
+
+	targetW := ChunkTargetCost(indptr, workers, rowCost)
+	weighted := EdgeChunksCost(indptr, targetW, rowCost, nil)
+	checkChunksCost(t, indptr, weighted, targetW, rowCost)
+
+	unweighted := EdgeChunks(indptr, ChunkTarget(indptr, workers), nil)
+	worstUnweighted := maxChunkCost(indptr, unweighted, rowCost)
+	worstWeighted := maxChunkCost(indptr, weighted, rowCost)
+	if worstWeighted*2 > worstUnweighted {
+		t.Fatalf("weighted cutting bought <2x: worst chunk cost %d vs %d edge-balanced",
+			worstWeighted, worstUnweighted)
+	}
+}
+
+// TestAggIndexChunksFor pins the lazy weighted-chunk cache: valid boundaries,
+// extraRowCost=0 degenerating to the Chunks weighting, slice reuse across
+// calls, allocation-free steady state, and invalidation after Build.
+func TestAggIndexChunksFor(t *testing.T) {
+	big := randAggGraph(t, 120, 7)
+	small := randAggGraph(t, 40, 8)
+	ai := NewAggIndex(big)
+
+	const extra = 512
+	c1 := ai.ChunksFor(extra)
+	checkChunksCost(t, big.Indptr, c1, ChunkTargetCost(big.Indptr, runtime.GOMAXPROCS(0), chunkRowCost+extra), chunkRowCost+extra)
+
+	// Zero extra cost must reproduce the edge-balanced Chunks list.
+	c0 := ai.ChunksFor(0)
+	if len(c0) != len(ai.Chunks) {
+		t.Fatalf("ChunksFor(0) has %d boundaries, Chunks %d", len(c0), len(ai.Chunks))
+	}
+	for i := range c0 {
+		if c0[i] != ai.Chunks[i] {
+			t.Fatalf("ChunksFor(0)[%d] = %d, Chunks %d", i, c0[i], ai.Chunks[i])
+		}
+	}
+
+	// Same cost again: cached, same backing array, no recompute.
+	c2 := ai.ChunksFor(extra)
+	if &c1[0] != &c2[0] {
+		t.Fatal("repeated ChunksFor did not reuse the cached list")
+	}
+
+	// Steady state is allocation-free once both graph sizes have been seen.
+	ai.Build(small)
+	ai.ChunksFor(extra)
+	allocs := testing.AllocsPerRun(10, func() {
+		ai.Build(big)
+		ai.ChunksFor(extra)
+		ai.Build(small)
+		ai.ChunksFor(extra)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state ChunksFor allocates %v objects", allocs)
+	}
+
+	// After the last Build the list must describe the small graph.
+	if got := ai.ChunksFor(extra); got[len(got)-1] != int32(small.N) {
+		t.Fatalf("post-rebuild list ends at %d, want %d", got[len(got)-1], small.N)
+	}
 }
 
 func TestDegreeSkewHistogram(t *testing.T) {

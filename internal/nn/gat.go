@@ -358,11 +358,11 @@ func (l *GATConv) backwardNode(v, destLo, destHi int, accumA bool) {
 			tensor.Axpy(l.dWh.Row(u), dz, alpha[i+1])
 		}
 	}
-	// Softmax backward: de_i = α_i (dα_i − Σ_j α_j dα_j).
-	var inner float32
-	for i := 0; i < k; i++ {
-		inner += alpha[i] * dAlpha[i]
-	}
+	// Softmax backward: de_i = α_i (dα_i − Σ_j α_j dα_j). The inner product
+	// is a per-edge dot over the attention row; every computation of it goes
+	// through the same SIMD Dot, so the staged recomputation for
+	// halo-dependent rows reproduces identical bits.
+	inner := tensor.Dot(alpha, dAlpha)
 	a1 := l.A1.Row(0)
 	a2 := l.A2.Row(0)
 	whv := l.wh.Row(v)

@@ -19,14 +19,24 @@ import (
 // which makes z_v an unbiased estimator of the full-graph aggregation
 // (Section 3.2).
 //
-// Aggregation runs on the sparse SpMM engine (tensor.SpMM/SpMMTrans): the
-// forward is a per-row gather over the CSR adjacency, the backward a gather
-// over the TRANSPOSED index, so both parallelize over edge-balanced chunks
-// with no scatter races. The backward's per-destination accumulation order
-// is fixed by construction: the self term first (a copy), then the incoming
-// neighbor contributions in ascending source order — exactly what the
-// scalar fallback below produces, so engine and fallback are bit-identical
-// (the aggregation property tests pin this).
+// Aggregation runs on the FUSED aggregate-project engine
+// (tensor.SpMMMatMul and the MatMulTrans*Split family): the forward gathers
+// each aggregated row z_v and feeds it to the projection FMAs while still
+// cache-hot — the nOut × 2·InDim concat matrix of the textbook formulation
+// is never materialized, eliminating its three DRAM round-trips (SpMM write,
+// self-copy write, MatMul read) from the epoch hot path. Only z (needed by
+// the backward's dW) is kept. The backward is fused symmetrically: one sweep
+// produces the aggregation gradient dz AND writes the self term straight
+// into the input-gradient rows, and dW reads [z|h] in place. The backward
+// gather runs over the TRANSPOSED index, so everything parallelizes over
+// edge-balanced chunks with no scatter races; chunk weights include the
+// per-row projection cost (graph.AggIndex.ChunksFor) so wide layers stay
+// balanced. The per-destination accumulation order is fixed by construction:
+// the self term first (an overwrite), then the incoming neighbor
+// contributions in ascending source order — exactly what the scalar
+// fallback below produces over its explicit concat, so engine and fallback
+// are bit-identical (the aggregation property tests and the fused kernel
+// tests pin this).
 type SAGEConv struct {
 	InDim, OutDim int
 	Act           Activation
@@ -47,12 +57,15 @@ type SAGEConv struct {
 	nAll   int
 	invDeg []float32
 	hIn    *tensor.Matrix // input features of the in-progress chunked pass
-	concat *tensor.Matrix // nOut × 2*InDim
+	z      *tensor.Matrix // nOut × InDim aggregated half (fused engine path)
+	concat *tensor.Matrix // nOut × 2*InDim (scalar fallback path only)
 	pre    *tensor.Matrix // nOut × OutDim
 
 	// Layer-owned scratch, reused across calls so steady-state training
 	// allocates nothing. All are fully rewritten (or zeroed) before use.
-	out, dPre, dConcat, dH, dWScratch *tensor.Matrix
+	// dz is the fused path's aggregation gradient; dConcat only backs the
+	// scalar fallback.
+	out, dPre, dz, dConcat, dH, dWScratch *tensor.Matrix
 }
 
 // NewSAGEConv creates a SAGE layer with Xavier-initialized weights.
@@ -99,6 +112,14 @@ func (l *SAGEConv) checkForward(g *graph.Graph, h *tensor.Matrix, nOut int, invD
 	}
 }
 
+// fusedChunks returns the edge-balanced chunk list for the fused forward,
+// weighted with the per-row projection cost: one edge gather is an
+// InDim-wide add, the projection is 2·InDim·OutDim FLOPs per row, so a row
+// weighs ≈ 2·OutDim extra edge-equivalents on top of its degree.
+func (l *SAGEConv) fusedChunks() []int32 {
+	return l.agg.ChunksFor(int64(2 * l.OutDim))
+}
+
 // Forward computes outputs for the first nOut rows of h, aggregating over g
 // (whose node space matches h's rows). invDeg[v] is the normalizer for node
 // v's neighbor sum; len(invDeg) >= nOut.
@@ -106,21 +127,24 @@ func (l *SAGEConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []
 	l.checkForward(g, h, nOut, invDeg)
 	l.g, l.nOut, l.nAll, l.invDeg, l.hIn = g, nOut, h.Rows, invDeg, h
 
-	// Aggregate z_v = invDeg[v] * Σ_{u∈N(v)} h_u into the left half of the
-	// concat buffer, then place h_v in the right half.
 	in := l.InDim
-	concat := ensureMat(&l.concat, nOut, 2*in)
-	var chunks []int32
-	if l.agg != nil {
-		chunks = l.agg.Chunks
-	}
-	tensor.SpMM(concat, h, g.Indptr, g.Indices, invDeg, chunks)
-	for v := 0; v < nOut; v++ {
-		copy(concat.Row(v)[in:], h.Row(v))
-	}
-
 	pre := ensureMat(&l.pre, nOut, l.OutDim)
-	tensor.MatMul(pre, concat, l.W)
+	if l.agg != nil {
+		// Fused path: pre = [diag(invDeg)·A·h | h]·W with no concat matrix;
+		// z_v = invDeg[v]·Σ_{u∈N(v)} h_u is kept for the backward's dW.
+		z := ensureMat(&l.z, nOut, in)
+		tensor.SpMMMatMul(pre, z, h, l.W, g.Indptr, g.Indices, invDeg, l.fusedChunks())
+	} else {
+		// Scalar fallback: aggregate into the left half of the concat
+		// buffer, place h_v in the right half, project. Bit-identical to
+		// the fused path (the fused kernel tests pin this).
+		concat := ensureMat(&l.concat, nOut, 2*in)
+		tensor.SpMM(concat, h, g.Indptr, g.Indices, invDeg, nil)
+		for v := 0; v < nOut; v++ {
+			copy(concat.Row(v)[in:], h.Row(v))
+		}
+		tensor.MatMul(pre, concat, l.W)
+	}
 	for v := 0; v < nOut; v++ {
 		row := pre.Row(v)
 		for j, b := range l.B.Row(0) {
@@ -142,7 +166,11 @@ func (l *SAGEConv) Forward(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []
 func (l *SAGEConv) ForwardBegin(g *graph.Graph, h *tensor.Matrix, nOut int, invDeg []float32) *tensor.Matrix {
 	l.checkForward(g, h, nOut, invDeg)
 	l.g, l.nOut, l.nAll, l.invDeg, l.hIn = g, nOut, h.Rows, invDeg, h
-	ensureMat(&l.concat, nOut, 2*l.InDim)
+	if l.agg != nil {
+		ensureMat(&l.z, nOut, l.InDim)
+	} else {
+		ensureMat(&l.concat, nOut, 2*l.InDim)
+	}
 	ensureMat(&l.pre, nOut, l.OutDim)
 	return ensureMat(&l.out, nOut, l.OutDim)
 }
@@ -163,12 +191,16 @@ func (l *SAGEConv) ForwardPrepRows(rows []int32) {}
 func (l *SAGEConv) ForwardRows(rows []int32) {
 	in := l.InDim
 	h := l.hIn
-	tensor.SpMMRows(l.concat, h, l.g.Indptr, l.g.Indices, l.invDeg, rows)
-	for _, v32 := range rows {
-		v := int(v32)
-		copy(l.concat.Row(v)[in:], h.Row(v))
+	if l.agg != nil {
+		tensor.SpMMMatMulRows(l.pre, l.z, h, l.W, l.g.Indptr, l.g.Indices, l.invDeg, rows)
+	} else {
+		tensor.SpMMRows(l.concat, h, l.g.Indptr, l.g.Indices, l.invDeg, rows)
+		for _, v32 := range rows {
+			v := int(v32)
+			copy(l.concat.Row(v)[in:], h.Row(v))
+		}
+		tensor.MatMulRows(l.pre, l.concat, l.W, rows)
 	}
-	tensor.MatMulRows(l.pre, l.concat, l.W, rows)
 	for _, v32 := range rows {
 		row := l.pre.Row(int(v32))
 		for j, b := range l.B.Row(0) {
@@ -187,7 +219,7 @@ func (l *SAGEConv) ForwardRows(rows []int32) {
 func (l *SAGEConv) addNeighborGrads(destLo, destHi int) {
 	in := l.InDim
 	if l.agg != nil {
-		tensor.SpMMTransRange(l.dH, l.dConcat, l.agg.IncIndptr, l.agg.IncSrc, l.invDeg, l.agg.IncChunks, destLo, destHi)
+		tensor.SpMMTransRange(l.dH, l.dz, l.agg.IncIndptr, l.agg.IncSrc, l.invDeg, l.agg.IncChunks, destLo, destHi)
 		return
 	}
 	for v := 0; v < l.nOut; v++ {
@@ -213,26 +245,51 @@ func (l *SAGEConv) Backward(dOut *tensor.Matrix) *tensor.Matrix {
 	copy(dPre.Data, dOut.Data)
 	activationGrad(l.Act, dPre, l.pre)
 
-	// Parameter gradients.
+	// Parameter gradients. The fused path reads the concat operand's halves
+	// in place ([z|h]) — bit-identical to MatMulTransA over the explicit
+	// concat the fallback keeps.
 	dW := ensureMat(&l.dWScratch, 2*l.InDim, l.OutDim)
-	tensor.MatMulTransA(dW, l.concat, dPre)
+	if l.agg != nil {
+		tensor.MatMulTransASplit(dW, l.z, l.hIn, dPre)
+	} else {
+		tensor.MatMulTransA(dW, l.concat, dPre)
+	}
 	l.DW.Add(dW)
 	for v := 0; v < l.nOut; v++ {
 		tensor.AddTo(l.DB.Row(0), dPre.Row(v))
 	}
 
-	// Input gradients: self terms first (a copy into the zeroed
-	// accumulator), then the neighbor gather in ascending source order.
+	// Input gradients: self terms first (an overwrite of the accumulator
+	// row), then the neighbor gather in ascending source order.
 	in := l.InDim
-	dConcat := ensureMat(&l.dConcat, l.nOut, 2*in)
-	tensor.MatMulTransB(dConcat, dPre, l.W)
 	dH := ensureMat(&l.dH, l.nAll, in)
-	dH.Zero()
-	for v := 0; v < l.nOut; v++ {
-		copy(dH.Row(v), dConcat.Row(v)[in:])
+	if l.agg != nil {
+		// Fused sweep: dz and the self terms in one pass, no dConcat. Every
+		// row < nOut is fully overwritten by the split writes, so only the
+		// remaining rows need zeroing before the gather accumulates.
+		dz := ensureMat(&l.dz, l.nOut, in)
+		l.zeroDHTail()
+		tensor.MatMulTransBSplit(dz, dH, dPre, l.W)
+	} else {
+		dConcat := ensureMat(&l.dConcat, l.nOut, 2*in)
+		tensor.MatMulTransB(dConcat, dPre, l.W)
+		dH.Zero()
+		for v := 0; v < l.nOut; v++ {
+			copy(dH.Row(v), dConcat.Row(v)[in:])
+		}
 	}
 	l.addNeighborGrads(0, l.nAll)
 	return dH
+}
+
+// zeroDHTail zeroes the input-gradient rows the fused backward sweep does not
+// overwrite: [nOut, nAll) — halo rows and any non-output inner rows — which
+// only ever receive gather accumulations.
+func (l *SAGEConv) zeroDHTail() {
+	tail := l.dH.Data[l.nOut*l.InDim:]
+	for i := range tail {
+		tail[i] = 0
+	}
 }
 
 // BackwardBegin starts a staged backward pass: it computes the
@@ -250,9 +307,17 @@ func (l *SAGEConv) BackwardBegin(dOut *tensor.Matrix) {
 	dPre := ensureMat(&l.dPre, dOut.Rows, dOut.Cols)
 	copy(dPre.Data, dOut.Data)
 	activationGrad(l.Act, dPre, l.pre)
-	ensureMat(&l.dConcat, l.nOut, 2*l.InDim) // rows filled stage by stage
-	dH := ensureMat(&l.dH, l.nAll, l.InDim)
-	dH.Zero()
+	ensureMat(&l.dH, l.nAll, l.InDim)
+	if l.agg != nil {
+		ensureMat(&l.dz, l.nOut, l.InDim) // rows filled stage by stage
+		// The halo/finish split writes overwrite every dH row < nOut
+		// exactly once (haloSrc ∪ freeSrc covers [0,nOut)) before any
+		// gather lands on it, so only the tail rows need zeroing.
+		l.zeroDHTail()
+	} else {
+		ensureMat(&l.dConcat, l.nOut, 2*l.InDim) // rows filled stage by stage
+		l.dH.Zero()
+	}
 }
 
 // BackwardHalo completes the halo rows [nIn, nAll) of the input gradient so
@@ -262,15 +327,18 @@ func (l *SAGEConv) BackwardBegin(dOut *tensor.Matrix) {
 // needed. The returned matrix is the shared input-gradient accumulator: its
 // rows ≥ nIn are final, rows < nIn complete only after BackwardFinish.
 func (l *SAGEConv) BackwardHalo(haloSrc, haloSlots []int32, nIn int) *tensor.Matrix {
-	tensor.MatMulTransBRows(l.dConcat, l.dPre, l.W, haloSrc)
 	in := l.InDim
 	if l.agg != nil {
-		// Every source of a halo destination has a halo neighbor, i.e. is in
-		// haloSrc — its dConcat row was just computed — so the row gather
+		// Fused sweep over the halo sources: each dz row and its self term
+		// (overwriting its dH row, before any gather reaches it) land in one
+		// pass. Every source of a halo destination has a halo neighbor, i.e.
+		// is in haloSrc — its dz row was just computed — so the row gather
 		// over the transposed index is complete and in ascending order.
-		tensor.SpMMTransRows(l.dH, l.dConcat, l.agg.IncIndptr, l.agg.IncSrc, l.invDeg, haloSlots)
+		tensor.MatMulTransBSplitRows(l.dz, l.dH, l.dPre, l.W, haloSrc)
+		tensor.SpMMTransRows(l.dH, l.dz, l.agg.IncIndptr, l.agg.IncSrc, l.invDeg, haloSlots)
 		return l.dH
 	}
+	tensor.MatMulTransBRows(l.dConcat, l.dPre, l.W, haloSrc)
 	for _, v32 := range haloSrc {
 		v := int(v32)
 		s := l.invDeg[v]
@@ -289,10 +357,22 @@ func (l *SAGEConv) BackwardHalo(haloSrc, haloSlots []int32, nIn int) *tensor.Mat
 // BackwardHalo's haloSrc; together they cover [0, nOut) exactly once.
 func (l *SAGEConv) BackwardFinish(freeSrc []int32, nIn int) *tensor.Matrix {
 	dW := ensureMat(&l.dWScratch, 2*l.InDim, l.OutDim)
-	tensor.MatMulTransA(dW, l.concat, l.dPre)
+	if l.agg != nil {
+		tensor.MatMulTransASplit(dW, l.z, l.hIn, l.dPre)
+	} else {
+		tensor.MatMulTransA(dW, l.concat, l.dPre)
+	}
 	l.DW.Add(dW)
 	for v := 0; v < l.nOut; v++ {
 		tensor.AddTo(l.DB.Row(0), l.dPre.Row(v))
+	}
+	if l.agg != nil {
+		// The halo stage already wrote haloSrc's dz rows and self terms;
+		// this sweep covers the rest, completing [0, nOut) exactly once
+		// before the inner-row gather accumulates.
+		tensor.MatMulTransBSplitRows(l.dz, l.dH, l.dPre, l.W, freeSrc)
+		l.addNeighborGrads(0, nIn)
+		return l.dH
 	}
 	tensor.MatMulTransBRows(l.dConcat, l.dPre, l.W, freeSrc)
 	in := l.InDim

@@ -160,3 +160,71 @@ func benchSpMMTrans(b *testing.B, n, deg, dim int, engine bool) {
 
 func BenchmarkSpMMTransHighDegScalar(b *testing.B) { benchSpMMTrans(b, 2048, 256, 64, false) }
 func BenchmarkSpMMTransHighDeg(b *testing.B)       { benchSpMMTrans(b, 2048, 256, 64, true) }
+
+// benchAggProj measures the SAGE forward hot pair — aggregate then project —
+// fused (SpMMMatMul, no concat ever written) against the unfused pipeline
+// (SpMM into the concat's left half, the self-copy pass, MatMul over the
+// concat). Bytes = FLOPs·4 (aggregation adds + projection multiply-adds), so
+// MB/s comparisons are FLOP-rate comparisons across the two variants.
+func benchAggProj(b *testing.B, n, deg, in, out int, fused bool) {
+	rng := NewRNG(44)
+	indptr, indices := benchCSR(rng, n, deg)
+	h := randomMatrix(rng, n, in)
+	w := randomMatrix(rng, 2*in, out)
+	scale := make([]float32, n)
+	for i := range scale {
+		scale[i] = 1 / float32(deg)
+	}
+	pre := New(n, out)
+	z := New(n, in)
+	concat := New(n, 2*in)
+	flops := int64(n)*int64(deg)*int64(in) + 2*int64(n)*int64(2*in)*int64(out)
+	b.SetBytes(flops * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fused {
+			SpMMMatMul(pre, z, h, w, indptr, indices, scale, nil)
+		} else {
+			SpMM(concat, h, indptr, indices, scale, nil)
+			for r := 0; r < n; r++ {
+				copy(concat.Row(r)[in:], h.Row(r))
+			}
+			MatMul(pre, concat, w)
+		}
+	}
+}
+
+func BenchmarkAggProjHighDegUnfused(b *testing.B) { benchAggProj(b, 2048, 256, 64, 64, false) }
+func BenchmarkAggProjHighDegFused(b *testing.B)   { benchAggProj(b, 2048, 256, 64, 64, true) }
+func BenchmarkAggProjLowDegUnfused(b *testing.B)  { benchAggProj(b, 4096, 8, 64, 64, false) }
+func BenchmarkAggProjLowDegFused(b *testing.B)    { benchAggProj(b, 4096, 8, 64, 64, true) }
+
+// benchBackwardSplit measures the backward concat sweep: fused
+// (MatMulTransBSplit writing dz and the self gradient in one pass) against
+// MatMulTransB into dConcat plus the split-copy pass.
+func benchBackwardSplit(b *testing.B, n, in, out int, fused bool) {
+	rng := NewRNG(45)
+	dPre := randomMatrix(rng, n, out)
+	w := randomMatrix(rng, 2*in, out)
+	dz := New(n, in)
+	dSelf := New(n, in)
+	dConcat := New(n, 2*in)
+	b.SetBytes(2 * int64(n) * int64(2*in) * int64(out) * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if fused {
+			MatMulTransBSplit(dz, dSelf, dPre, w)
+		} else {
+			MatMulTransB(dConcat, dPre, w)
+			for r := 0; r < n; r++ {
+				copy(dz.Row(r), dConcat.Row(r)[:in])
+				copy(dSelf.Row(r), dConcat.Row(r)[in:])
+			}
+		}
+	}
+}
+
+func BenchmarkBackwardSplitUnfused(b *testing.B) { benchBackwardSplit(b, 2048, 64, 64, false) }
+func BenchmarkBackwardSplitFused(b *testing.B)   { benchBackwardSplit(b, 2048, 64, 64, true) }

@@ -161,14 +161,24 @@ func Axpy(dst, src []float32, a float32) {
 	}
 }
 
-// Dot returns the dot product of a and b. Lengths must match.
+// Dot returns the dot product of a and b. Lengths must match. The AVX2 lane
+// reduction differs from sequential scalar accumulation in the low bits;
+// every bit-identity contract in the repo is within-build, so every path
+// computing a given value goes through this same function either way.
 func Dot(a, b []float32) float32 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
+	n := len(a)
 	var s float32
-	for i, v := range a {
-		s += v * b[i]
+	j := 0
+	if useAVX2 && n >= 8 {
+		n8 := n &^ 7
+		s = dotAVX2(&a[0], &b[0], n8)
+		j = n8
+	}
+	for ; j < n; j++ {
+		s += a[j] * b[j]
 	}
 	return s
 }

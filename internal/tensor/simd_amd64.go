@@ -30,6 +30,16 @@ func axpy4AVX2(dst, b0, b1, b2, b3 *float32, n int, a *[4]float32)
 //go:noescape
 func dot4AVX2(a, b0, b1, b2, b3 *float32, n int, out *[4]float32)
 
+// dotAVX2 returns the dot product of a and b over the first n elements.
+// n must be a multiple of 8; callers handle the scalar tail. The lane
+// reduction differs from a sequential scalar accumulation (like dot4AVX2's),
+// so callers needing bit-stability must route every computation of a value
+// through the same Dot path — all the repo's bit-identity contracts are
+// within-build, which makes that automatic.
+//
+//go:noescape
+func dotAVX2(a, b *float32, n int) float32
+
 // addAVX2 computes dst[j] += src[j] for j in [0,n), n a multiple of 8.
 //
 //go:noescape

@@ -147,6 +147,45 @@ dot4reduce:
 	VZEROUPPER
 	RET
 
+// func dotAVX2(a, b *float32, n int) float32
+//
+// Returns sum_j a[j]*b[j] over j in [0,n); n must be a multiple of 8.
+// Two accumulators hide the FMA latency (the same schedule as one dot4AVX2
+// lane); the reduction is dot4AVX2's extract+hadd sequence.
+TEXT ·dotAVX2(SB), NOSPLIT, $0-28
+	MOVQ a+0(FP), SI
+	MOVQ b+8(FP), DI
+	MOVQ n+16(FP), CX
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	XORQ BX, BX
+	MOVQ CX, DX
+	ANDQ $-16, DX
+	CMPQ DX, $0
+	JE   dottail
+dotloop:
+	VMOVUPS (SI)(BX*4), Y0
+	VMOVUPS 32(SI)(BX*4), Y1
+	VFMADD231PS (DI)(BX*4), Y0, Y4
+	VFMADD231PS 32(DI)(BX*4), Y1, Y5
+	ADDQ $16, BX
+	CMPQ BX, DX
+	JLT  dotloop
+dottail:
+	CMPQ BX, CX
+	JGE  dotreduce
+	VMOVUPS (SI)(BX*4), Y0
+	VFMADD231PS (DI)(BX*4), Y0, Y4
+dotreduce:
+	VADDPS Y5, Y4, Y4
+	VEXTRACTF128 $1, Y4, X5
+	VADDPS X5, X4, X4
+	VHADDPS X4, X4, X4
+	VHADDPS X4, X4, X4
+	VMOVSS X4, ret+24(FP)
+	VZEROUPPER
+	RET
+
 // func addAVX2(dst, src *float32, n int)
 //
 // dst[j] += src[j] for j in [0,n); n must be a multiple of 8.

@@ -14,6 +14,10 @@ func dot4AVX2(a, b0, b1, b2, b3 *float32, n int, out *[4]float32) {
 	panic("tensor: dot4AVX2 unavailable on this platform")
 }
 
+func dotAVX2(a, b *float32, n int) float32 {
+	panic("tensor: dotAVX2 unavailable on this platform")
+}
+
 func addAVX2(dst, src *float32, n int) {
 	panic("tensor: addAVX2 unavailable on this platform")
 }
