@@ -65,6 +65,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/elastic"
 	"repro/internal/partition"
+	"repro/internal/sampling"
 )
 
 // tagLoss is the AllReduce tag the CLI uses to aggregate the display loss
@@ -73,21 +74,25 @@ const tagLoss = 5000
 
 func main() {
 	var (
-		dsName  = flag.String("dataset", "reddit", "dataset: reddit, products, yelp")
-		k       = flag.Int("k", 4, "number of partitions (simulated GPUs); ignored when -world is set")
-		p       = flag.Float64("p", 0.1, "boundary node sampling rate in [0,1]")
-		method  = flag.String("partitioner", "metis", "metis or random")
-		arch    = flag.String("arch", "sage", "model: sage or gat")
-		layers  = flag.Int("layers", 0, "model depth (0 = paper default for dataset)")
-		hidden  = flag.Int("hidden", 32, "hidden units")
-		epochs  = flag.Int("epochs", 100, "training epochs")
-		lr      = flag.Float64("lr", 0, "learning rate (0 = paper default)")
-		dropout = flag.Float64("dropout", -1, "dropout rate (-1 = paper default)")
-		scale   = flag.Int("scale", 1, "dataset scale multiplier")
-		seed    = flag.Uint64("seed", 1, "master seed")
-		every   = flag.Int("eval-every", 10, "evaluate test score every N epochs (0 = end only)")
-		overlap = flag.Bool("overlap", true, "pipelined epoch schedule: overlap halo communication with inner-node compute (bit-identical results; -overlap=false for the serialized baseline)")
-		drain   = flag.String("drain", "arrival", "overlapped drain order: arrival (complete whichever peer's halo data lands first) or rank (ascending rank order)")
+		dsName = flag.String("dataset", "reddit", "dataset: reddit, products, yelp")
+		k      = flag.Int("k", 4, "number of partitions (simulated GPUs); ignored when -world is set")
+		p      = flag.Float64("p", 0.1, "boundary node sampling rate in [0,1] (bns sampler)")
+
+		samplerName   = flag.String("sampler", "bns", "epoch sampling strategy: bns (paper's boundary-node sampling at rate -p), ladies (partition-local layer-wise importance sampling, see -sampler-budget), saint (GraphSAINT-style subgraph sampling, see -sampler-frac)")
+		samplerBudget = flag.Int("sampler-budget", 64, "ladies: expected boundary slots kept per rank per epoch (0 = keep all)")
+		samplerFrac   = flag.Float64("sampler-frac", 0.5, "saint: expected fraction of each rank's inner nodes kept per epoch")
+		method        = flag.String("partitioner", "metis", "metis or random")
+		arch          = flag.String("arch", "sage", "model: sage or gat")
+		layers        = flag.Int("layers", 0, "model depth (0 = paper default for dataset)")
+		hidden        = flag.Int("hidden", 32, "hidden units")
+		epochs        = flag.Int("epochs", 100, "training epochs")
+		lr            = flag.Float64("lr", 0, "learning rate (0 = paper default)")
+		dropout       = flag.Float64("dropout", -1, "dropout rate (-1 = paper default)")
+		scale         = flag.Int("scale", 1, "dataset scale multiplier")
+		seed          = flag.Uint64("seed", 1, "master seed")
+		every         = flag.Int("eval-every", 10, "evaluate test score every N epochs (0 = end only)")
+		overlap       = flag.Bool("overlap", true, "pipelined epoch schedule: overlap halo communication with inner-node compute (bit-identical results; -overlap=false for the serialized baseline)")
+		drain         = flag.String("drain", "arrival", "overlapped drain order: arrival (complete whichever peer's halo data lands first) or rank (ascending rank order)")
 
 		rank  = flag.Int("rank", -1, "this process's rank in a multi-process run (requires -rendezvous or -checkpoint-dir)")
 		world = flag.Int("world", 0, "ranks in a multi-process run = partition count (requires -rendezvous or -checkpoint-dir)")
@@ -206,6 +211,21 @@ func main() {
 		sched = core.ScheduleSerialized
 	}
 	pcfg := core.ParallelConfig{Model: mc, P: *p, SampleSeed: *seed + 1, Schedule: sched}
+	// The strategy is rebuilt from flags on every process, so distributed and
+	// elastic ranks (including -join replacements) agree on it by
+	// construction, exactly like the dataset and partitioning.
+	switch *samplerName {
+	case "bns":
+		// Engine default; leave pcfg.Strategy nil.
+	case "ladies":
+		pcfg.Strategy = sampling.NewLADIESFactory(*samplerBudget, *seed+1)
+		logf("sampler: partition-local LADIES, expected budget %d boundary slots per rank\n", *samplerBudget)
+	case "saint":
+		pcfg.Strategy = sampling.NewSAINTFactory(*samplerFrac, *seed+1)
+		logf("sampler: GraphSAINT-style subgraphs, expected inner fraction %.2g per rank\n", *samplerFrac)
+	default:
+		fatal(fmt.Errorf("unknown -sampler %q (want bns, ladies, or saint)", *samplerName))
+	}
 
 	if distributed {
 		if elasticMode {

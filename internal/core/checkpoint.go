@@ -23,15 +23,19 @@ import (
 //   - Trainer checkpoint ("BNST" + format version,
 //     SaveTrainerCheckpoint/LoadTrainerCheckpoint): the model section plus
 //     everything a bit-exact resume needs — Adam's step count and moment
-//     matrices, the boundary-sampling RNG position, every dropout layer's
-//     mask RNG position, and the epoch counter. A weights-only checkpoint
-//     silently resets the optimizer moments and the RNG streams, so a
-//     resumed run diverges from an uninterrupted one; the trainer format
-//     exists so that train(N) ≡ train(k) + save + load + train(N−k), bit
-//     for bit (the resume-equivalence test pins this). Version 2 appends a
-//     CRC-32 (IEEE) of every preceding byte, so a torn or bit-rotted file
-//     is rejected outright and an elastic recovery falls back a generation
-//     instead of resuming from garbage.
+//     matrices, the epoch-sampling strategy's identity and RNG position,
+//     every dropout layer's mask RNG position, and the epoch counter. A
+//     weights-only checkpoint silently resets the optimizer moments and the
+//     RNG streams, so a resumed run diverges from an uninterrupted one; the
+//     trainer format exists so that train(N) ≡ train(k) + save + load +
+//     train(N−k), bit for bit (the resume-equivalence test pins this).
+//     Version 2 appended a CRC-32 (IEEE) of every preceding byte, so a torn
+//     or bit-rotted file is rejected outright and an elastic recovery falls
+//     back a generation instead of resuming from garbage. Version 3
+//     replaced the bare sampling-RNG word with the strategy name plus its
+//     RNG state: resuming under a different strategy than the one that
+//     produced the checkpoint would silently train a different estimator,
+//     so a name mismatch is rejected with both names spelled out.
 //
 // The architecture and every matrix shape are stored so a mismatched load
 // fails loudly instead of silently misassigning state.
@@ -39,7 +43,7 @@ import (
 const (
 	ckptMagic        = uint32(0x424E5343) // "BNSC": model weights only
 	ckptTrainerMagic = uint32(0x424E5354) // "BNST": full resumable trainer state
-	ckptTrainerVer   = uint32(2)
+	ckptTrainerVer   = uint32(3)
 	optKindAdam      = uint32(1)
 )
 
@@ -245,8 +249,8 @@ func readMats(br io.Reader, mats []*tensor.Matrix, what string) error {
 }
 
 // SaveTrainerCheckpoint writes rank rt's full resumable training state: the
-// model section plus the optimizer moments and step count, the
-// boundary-sampling RNG position, each dropout layer's mask RNG position,
+// model section plus the optimizer moments and step count, the epoch-sampling
+// strategy's name and RNG position, each dropout layer's mask RNG position,
 // and the completed-epoch counter. In a k-rank run every rank saves its own
 // checkpoint (states differ per rank: sampling streams are rank-seeded and
 // dropout streams advance with local row counts).
@@ -269,7 +273,14 @@ func SaveTrainerCheckpoint(w io.Writer, rt *RankTrainer) error {
 	if err := binary.Write(cw, binary.LittleEndian, int64(rt.epoch)); err != nil {
 		return err
 	}
-	if err := binary.Write(cw, binary.LittleEndian, rt.rng.State()); err != nil {
+	name := rt.strat.Name()
+	if err := binary.Write(cw, binary.LittleEndian, int64(len(name))); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(cw, name); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, rt.strat.State()); err != nil {
 		return err
 	}
 	drops := rt.Model.Dropouts
@@ -343,8 +354,15 @@ func LoadTrainerCheckpoint(r io.Reader, rt *RankTrainer) error {
 	if err := binary.Read(cr, binary.LittleEndian, &epoch); err != nil {
 		return err
 	}
-	var rngState uint64
-	if err := binary.Read(cr, binary.LittleEndian, &rngState); err != nil {
+	stratName, err := readStrategyName(cr)
+	if err != nil {
+		return err
+	}
+	if stratName != rt.strat.Name() {
+		return fmt.Errorf("core: trainer checkpoint was written by sampling strategy %q, this trainer runs %q — resuming would silently switch estimators; restart with the original strategy (or train fresh)", stratName, rt.strat.Name())
+	}
+	var stratState uint64
+	if err := binary.Read(cr, binary.LittleEndian, &stratState); err != nil {
 		return err
 	}
 	var nDrops int64
@@ -399,12 +417,30 @@ func LoadTrainerCheckpoint(r io.Reader, rt *RankTrainer) error {
 		copy(v[i].Data, stageV[i].Data)
 	}
 	rt.epoch = int(epoch)
-	rt.rng.SetState(rngState)
+	rt.strat.SetState(stratState)
 	for i, d := range drops {
 		d.SetRNGState(dropStates[i])
 	}
 	adam.SetStepCount(int(stepCount))
 	return nil
+}
+
+// readStrategyName decodes the length-prefixed strategy name of the v3
+// trainer format, bounding the length so a corrupt word cannot trigger a
+// giant allocation before the CRC check is even reached.
+func readStrategyName(r io.Reader) (string, error) {
+	var n int64
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("core: trainer checkpoint strategy name: %w", err)
+	}
+	if n < 0 || n > 64 {
+		return "", fmt.Errorf("core: trainer checkpoint strategy name length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("core: trainer checkpoint strategy name: %w", err)
+	}
+	return string(buf), nil
 }
 
 // stageLike returns scratch matrices shaped like mats, used to stage
@@ -469,12 +505,15 @@ func LoadModelFromCheckpoint(r io.Reader) (*Model, error) {
 		// stream: a server must not trust weights out of a corrupt file just
 		// because the damage sits in the optimizer section.
 		var epoch int64
-		var rngState uint64
+		var stratState uint64
 		var nDrops int64
 		if err := binary.Read(cr, binary.LittleEndian, &epoch); err != nil {
 			return nil, err
 		}
-		if err := binary.Read(cr, binary.LittleEndian, &rngState); err != nil {
+		if _, err := readStrategyName(cr); err != nil {
+			return nil, err
+		}
+		if err := binary.Read(cr, binary.LittleEndian, &stratState); err != nil {
 			return nil, err
 		}
 		if err := binary.Read(cr, binary.LittleEndian, &nDrops); err != nil {

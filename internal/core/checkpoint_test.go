@@ -264,7 +264,7 @@ func TestTrainerCheckpointRejects(t *testing.T) {
 	// read is staged, so a half-readable checkpoint cannot leave the
 	// trainer half-restored.
 	before := rt.Model.ParamVector()
-	rngBefore := rt.rng.State()
+	rngBefore := rt.strat.State()
 	truncated := trainerBuf.Bytes()[:trainerBuf.Len()-7]
 	if err := LoadTrainerCheckpoint(bytes.NewReader(truncated), rt); err == nil {
 		t.Fatal("trainer loader must reject a truncated checkpoint")
@@ -275,7 +275,7 @@ func TestTrainerCheckpointRejects(t *testing.T) {
 			t.Fatalf("truncated load mutated weight %d: %v -> %v", i, before[i], after[i])
 		}
 	}
-	if rt.rng.State() != rngBefore {
+	if rt.strat.State() != rngBefore {
 		t.Fatal("truncated load mutated the sampler RNG state")
 	}
 }
@@ -297,11 +297,11 @@ func TestTrainerCheckpointFileRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt2.rng.SetState(999)
+	rt2.strat.SetState(999)
 	if err := LoadTrainerCheckpointFile(path, rt2); err != nil {
 		t.Fatal(err)
 	}
-	if rt2.rng.State() != rt.rng.State() {
+	if rt2.strat.State() != rt.strat.State() {
 		t.Fatal("file round trip lost the sampler RNG state")
 	}
 	if d := MaxParamDiff(rt.Model, rt2.Model); d != 0 {

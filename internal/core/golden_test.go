@@ -1,0 +1,113 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// trainingSignature runs 4 epochs and folds the per-epoch losses followed by
+// rank 0's final weights into one FNV-64a hash, returning it with the summed
+// halo payload bytes. Any numeric or traffic drift — a changed RNG draw, a
+// reordered float add, one extra byte on the wire — changes the signature.
+func trainingSignature(t *testing.T, tr *ParallelTrainer) (uint64, int64) {
+	t.Helper()
+	h := fnv.New64a()
+	var bytes int64
+	var buf [8]byte
+	for e := 0; e < 4; e++ {
+		st := tr.TrainEpoch()
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(st.Loss))
+		h.Write(buf[:])
+		bytes += st.CommBytes
+	}
+	for _, p := range tr.Models[0].Params() {
+		for _, v := range p.Data {
+			binary.LittleEndian.PutUint32(buf[:4], math.Float32bits(v))
+			h.Write(buf[:4])
+		}
+	}
+	return h.Sum64(), bytes
+}
+
+// TestBNSStrategyGolden pins the strategy-hosted BNS path to signatures
+// captured from the pre-Strategy engine (the baked-in sampling loop in
+// runEpoch), for both architectures and k ∈ {2, 4}. These constants are the
+// refactor's bit-identity proof: if the Strategy extraction ever perturbs the
+// RNG stream, the estimator arithmetic, or the wire protocol, this fails.
+// They must only be re-captured for an intentional numerics change.
+//
+// The comm-byte counts are pure functions of the sampling RNG stream and
+// hold on any box. The weight hashes additionally encode float summation
+// order, which varies with the kernel worker-pool width — they are asserted
+// only when the pool matches the capture width (GOMAXPROCS=1); the
+// schedule/transport equivalence matrix carries the within-width proof
+// elsewhere.
+func TestBNSStrategyGolden(t *testing.T) {
+	golden := map[Arch]map[int]struct {
+		hash      uint64
+		commBytes int64
+	}{
+		ArchSAGE: {
+			2: {hash: 0x8fbb542f236902be, commBytes: 116864},
+			4: {hash: 0x930a70ead12a10a5, commBytes: 253616},
+		},
+		ArchGAT: {
+			2: {hash: 0x5267982eab5a7a30, commBytes: 116864},
+			4: {hash: 0x5b98fb8695488be, commBytes: 253616},
+		},
+	}
+	for _, arch := range []Arch{ArchSAGE, ArchGAT} {
+		for _, k := range []int{2, 4} {
+			ds := testDataset(t, uint64(70+k))
+			topo := testTopology(t, ds, k)
+			mc := ModelConfig{Arch: arch, Layers: 2, Hidden: 16, Dropout: 0.3, LR: 0.01, Seed: 42}
+			cfg := ParallelConfig{Model: mc, P: 0.5, SampleSeed: 17, Schedule: ScheduleSerialized}
+			tr, err := NewParallelTrainer(ds, topo, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hash, bytes := trainingSignature(t, tr)
+			want := golden[arch][k]
+			if tensor.Parallelism() == 1 {
+				if hash != want.hash {
+					t.Errorf("%s k=%d: signature %#x, want pre-refactor %#x", arch, k, hash, want.hash)
+				}
+			} else {
+				t.Logf("%s k=%d: kernel pool width %d != capture width 1, weight-hash check skipped", arch, k, tensor.Parallelism())
+			}
+			if bytes != want.commBytes {
+				t.Errorf("%s k=%d: comm bytes %d, want pre-refactor %d", arch, k, bytes, want.commBytes)
+			}
+		}
+	}
+}
+
+// TestExplicitBNSFactoryMatchesDefault checks that wiring BNS through
+// ParallelConfig.Strategy (as cmd/bnsgcn's -sampler=bns does) is the same
+// engine as leaving Strategy nil: same losses, same weights, same traffic.
+func TestExplicitBNSFactoryMatchesDefault(t *testing.T) {
+	ds := testDataset(t, 72)
+	topo := testTopology(t, ds, 2)
+	mc := ModelConfig{Arch: ArchSAGE, Layers: 2, Hidden: 16, Dropout: 0.3, LR: 0.01, Seed: 42}
+	base := ParallelConfig{Model: mc, P: 0.5, SampleSeed: 17, Schedule: ScheduleOverlap}
+	explicit := base
+	explicit.Strategy = func(rank int) Strategy { return NewBNSStrategy(base.P, base.SampleSeed, rank) }
+
+	trDefault, err := NewParallelTrainer(ds, topo, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trExplicit, err := NewParallelTrainer(ds, topo, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hd, bd := trainingSignature(t, trDefault)
+	he, be := trainingSignature(t, trExplicit)
+	if hd != he || bd != be {
+		t.Fatalf("explicit BNS factory diverged from default: (%#x,%d) vs (%#x,%d)", he, be, hd, bd)
+	}
+}

@@ -79,6 +79,16 @@ type LocalPartition struct {
 	pendRecv  []comm.PendingRecvF32 // per peer: posted halo receives
 	recvData  [][]float32           // per peer: drained payloads (staged fold)
 
+	// Strategy-mode scratch (see strategy.go): lossMask is the per-epoch
+	// intersection of TrainMask with the strategy's active inner rows, and
+	// skipRows lists the inner rows excluded from compute entirely — only a
+	// row-dropping strategy under an architecture whose staged backward
+	// tolerates uncomputed rows (SAGE) populates it. For BNS both stay in
+	// their pass-through state (lossMask aliases TrainMask semantics via the
+	// engine, skipRows empty).
+	lossMask []bool
+	skipRows []int32
+
 	// Arrival-order drain state (ScheduleOverlap, see pipeline.go): the
 	// owner rank of every boundary slot (static), and the per-epoch row
 	// buckets splitRows derives from it — peerRows[j] lists (ascending) the
@@ -192,6 +202,8 @@ func NewLocalPartition(ds *datagen.Dataset, t *Topology, i int) *LocalPartition 
 		lp.sendRows[j] = make([]int32, 0, len(t.Send[i][j]))
 	}
 	lp.epochInvDeg = make([]float32, lp.NIn)
+	lp.lossMask = make([]bool, lp.NIn)
+	lp.skipRows = make([]int32, 0, lp.NIn)
 	lp.haloFree = make([]int32, 0, lp.NIn)
 	lp.haloDep = make([]int32, 0, lp.NIn)
 	lp.haloSlots = make([]int32, 0, lp.NBd)
@@ -221,9 +233,66 @@ func NewLocalPartition(ds *datagen.Dataset, t *Topology, i int) *LocalPartition 
 // awaited peers — the countdown that unlocks a row the moment its last
 // peer's payload lands. Bucketing needs the full neighbor scan, so the
 // rank-order schedules skip it and keep the early-out row scan.
-func (lp *LocalPartition) splitRows(eg *graph.Graph, buckets bool) {
+//
+// With restrict set (a row-dropping strategy under SAGE), inner rows with
+// lp.active[v] false are excluded from both compute lists and collected in
+// lp.skipRows instead: their projections are skipped outright and the
+// engine zeroes their rows of the layer inputs and folded gradients so the
+// staged SAGE backward — whose parameter-gradient kernels read every row —
+// sees exact zeros rather than stale scratch. Without restrict every inner
+// row is listed (an inactive row under GAT computes as an isolated node:
+// its epoch-graph edges are gone, so it lands in the halo-free list, costs
+// one self-attention, and contributes exactly zero gradient).
+func (lp *LocalPartition) splitRows(eg *graph.Graph, buckets, restrict bool) {
 	free, dep := lp.haloFree[:0], lp.haloDep[:0]
+	skip := lp.skipRows[:0]
 	nIn := int32(lp.NIn)
+	if restrict {
+		if buckets {
+			for j := range lp.peerRows {
+				lp.peerRows[j] = lp.peerRows[j][:0]
+				lp.peerMark[j] = -1
+			}
+		}
+		for v := int32(0); v < nIn; v++ {
+			if !lp.active[v] {
+				skip = append(skip, v)
+				lp.rowWaitInit[v] = 0
+				continue
+			}
+			waits := int32(0)
+			for _, u := range eg.Neighbors(v) {
+				if u >= nIn {
+					if !buckets {
+						waits = 1
+						break
+					}
+					o := lp.slotOwner[u-nIn]
+					if lp.peerMark[o] != v {
+						lp.peerMark[o] = v
+						lp.peerRows[o] = append(lp.peerRows[o], v)
+						waits++
+					}
+				}
+			}
+			lp.rowWaitInit[v] = waits
+			if waits > 0 {
+				dep = append(dep, v)
+			} else {
+				free = append(free, v)
+			}
+		}
+		lp.haloFree, lp.haloDep, lp.skipRows = free, dep, skip
+		slots := lp.haloSlots[:0]
+		for s := lp.NIn; s < lp.NIn+lp.NBd; s++ {
+			if lp.active[s] {
+				slots = append(slots, int32(s))
+			}
+		}
+		lp.haloSlots = slots
+		return
+	}
+	lp.skipRows = skip
 	if buckets {
 		for j := range lp.peerRows {
 			lp.peerRows[j] = lp.peerRows[j][:0]
@@ -274,8 +343,12 @@ func (lp *LocalPartition) splitRows(eg *graph.Graph, buckets bool) {
 	lp.haloSlots = slots
 }
 
-// epochGraph rebuilds the node-induced local subgraph on inner ∪ sampled
-// boundary (Algorithm 1 line 5): edges to inactive halo slots are dropped.
+// epochGraph rebuilds the node-induced local subgraph on the plan's active
+// rows (Algorithm 1 line 5 for BNS): edges into inactive rows are dropped,
+// and an inactive inner row also drops its outgoing edges — node-induced
+// semantics, which row-dropping strategies rely on so no kernel ever reads
+// or gathers through an uncomputed row. Under BNS every inner row is active
+// and this reduces to the historical boundary-edge filter.
 // The aggregation plan (lp.agg — the SpMM engine's transposed index and
 // edge-balanced chunks, which the model's layers hold a pointer to) is
 // rebuilt in the same breath, so the layers always aggregate over the plan
@@ -287,6 +360,9 @@ func (lp *LocalPartition) epochGraph() *graph.Graph {
 	pos := int64(0)
 	for v := 0; v < lp.NIn; v++ {
 		lp.epochIndptr[v] = pos
+		if !lp.active[v] {
+			continue // inactive inner row: node-induced drop of all its edges
+		}
 		for _, u := range lp.fullIndices[lp.fullIndptr[v]:lp.fullIndptr[v+1]] {
 			if lp.active[u] {
 				lp.epochIndices[pos] = u
@@ -376,6 +452,13 @@ type ParallelConfig struct {
 	// the default, and ScheduleSerialized is the escape hatch
 	// (cmd/bnsgcn -overlap=false).
 	Schedule Schedule
+	// Strategy, when non-nil, builds each rank's epoch-sampling strategy
+	// (see strategy.go); nil keeps the paper's boundary-node sampling at
+	// rate P, seeded from SampleSeed exactly as before the strategies
+	// existed. Every rank of a run — including independently bootstrapped
+	// processes — must use the same factory for replicas to stay
+	// consistent.
+	Strategy StrategyFactory
 }
 
 // EpochStats reports one epoch of parallel training. Durations are the
@@ -429,8 +512,10 @@ type RankTrainer struct {
 	LP    *LocalPartition
 	Model *Model
 
-	opt optim.Optimizer
-	rng *tensor.RNG
+	opt   optim.Optimizer
+	strat Strategy
+	view  PartitionView
+	plan  Plan
 
 	globalTrainCount int
 	epoch            int
@@ -467,9 +552,36 @@ func NewRankTrainer(ds *datagen.Dataset, topo *Topology, cfg ParallelConfig, ran
 		LP:    NewLocalPartition(ds, topo, rank),
 		Model: model,
 		opt:   optim.NewAdam(cfg.Model.LR),
-		rng:   tensor.NewRNG(cfg.SampleSeed + uint64(rank)*0x9e3779b9),
 		arrCh: make(chan int, topo.K),
 	}
+	// The epoch-sampling strategy: BNS by default, or whatever the config's
+	// factory builds. It samples against the static partition view and fills
+	// the per-epoch plan, whose Active/Positions slices alias the partition
+	// scratch the engine already owns — planning an epoch allocates nothing.
+	if cfg.Strategy != nil {
+		rt.strat = cfg.Strategy(rank)
+	} else {
+		rt.strat = NewBNSStrategy(cfg.P, cfg.SampleSeed, rank)
+	}
+	lp := rt.LP
+	rt.view = PartitionView{
+		Rank: rank, K: topo.K, NIn: lp.NIn, NBd: lp.NBd,
+		RecvLists: topo.Recv[rank],
+		SlotOwner: lp.slotOwner,
+		Indptr:    lp.fullIndptr,
+		Indices:   lp.fullIndices,
+		TrainMask: lp.TrainMask,
+		InnerDeg:  make([]int32, lp.NIn),
+		SlotDeg:   make([]int32, lp.NBd),
+	}
+	for li, v := range lp.GlobalInner {
+		rt.view.InnerDeg[li] = int32(topo.G.Degree(v))
+	}
+	for si, u := range lp.GlobalBoundary {
+		rt.view.SlotDeg[si] = int32(topo.G.Degree(u))
+	}
+	rt.strat.Bind(&rt.view)
+	rt.plan = Plan{Active: lp.active, Positions: lp.myPos}
 	// The layers aggregate over the per-epoch subgraph; install its plan
 	// once — the pointer is stable, epochGraph rebuilds the contents (and
 	// bumps the plan generation, so the fused kernels' FLOP-weighted chunk

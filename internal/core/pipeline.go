@@ -73,58 +73,52 @@ import (
 // the row compute it interleaves between waits to Compute, not CommExposed,
 // so the exposed figure stays comparable across schedules.
 
-// runEpoch executes one BNS-GCN epoch for this rank over the worker's
-// transport.
+// runEpoch executes one epoch of strategy-sampled partition-parallel
+// training for this rank over the worker's transport.
 func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 	var ws RankStats
 	rank := rt.Rank
 	lp := rt.LP
 	model := rt.Model
-	rng := rt.rng
 	k := rt.Topo.K
-	p := float32(rt.Cfg.P)
 	overlap := rt.Cfg.Schedule.overlapped()
 	arrival := rt.Cfg.Schedule.arrival()
-	// The paper's 1/p rescaling of received features (Section 3.2) makes the
-	// *mean aggregator's* neighbor sum unbiased. Attention models normalize
-	// per-neighborhood via softmax, so the rescale would only distort the
-	// attention logits — GAT runs unscaled, matching the official code.
-	invP := float32(1)
-	if rt.Cfg.P > 0 && rt.Cfg.Model.Arch == ArchSAGE {
-		invP = 1 / float32(rt.Cfg.P)
-	}
 
-	// --- Sampling phase (lines 4–7) ---
+	// --- Sampling phase (lines 4–7): the strategy decides the epoch ---
 	start := time.Now()
-	for i := range lp.active {
-		lp.active[i] = i < lp.NIn
-	}
-	myPos := lp.myPos // positions I sampled, per owner partition
+	plan := &rt.plan
+	rt.strat.PlanEpoch(plan)
+	myPos := plan.Positions // aliases lp.myPos: positions I sampled, per owner
 	for j := 0; j < k; j++ {
-		if j == rank {
-			continue
+		if j != rank {
+			ws.SampledBd += len(myPos[j])
 		}
-		full := rt.Topo.Recv[rank][j]
-		pos := myPos[j][:0]
-		switch {
-		case rt.Cfg.P >= 1:
-			pos = pos[:len(full)]
-			for x := range pos {
-				pos[x] = int32(x)
-			}
-		case rt.Cfg.P <= 0:
-			// nothing sampled
-		default:
-			for x := range full {
-				if rng.Float32() < p {
-					pos = append(pos, int32(x))
-				}
-			}
-		}
-		myPos[j] = pos
-		for _, x := range pos {
-			lp.active[lp.NIn+int(full[x])] = true
-			ws.SampledBd++
+	}
+	// The strategy's 1/p rescaling of received features (Section 3.2 for BNS)
+	// makes the *mean aggregator's* neighbor sum unbiased. Attention models
+	// normalize per-neighborhood via softmax, so the rescale would only
+	// distort the attention logits — GAT runs unscaled whatever the strategy
+	// reports, matching the official code.
+	invP := plan.InvP
+	if invP <= 0 {
+		invP = 1
+	}
+	var haloScale []float32 // per-slot receive rescale; nil = uniform invP
+	if rt.Cfg.Model.Arch == ArchSAGE {
+		haloScale = plan.HaloScale
+	} else {
+		invP = 1
+	}
+	// A row-dropping strategy shrinks the loss to the inner rows it kept; the
+	// mask is captured now, before peer demand promotes extra rows back into
+	// compute. The normalizer stays the global train count — a property of
+	// the dataset alone — so the sampled loss is a fixed-expected-fraction
+	// estimate of the full one and ranks need no extra agreement round.
+	lossMask := lp.TrainMask
+	if plan.DropsInner {
+		lossMask = lp.lossMask
+		for v := 0; v < lp.NIn; v++ {
+			lossMask[v] = lp.TrainMask[v] && lp.active[v]
 		}
 	}
 	// Broadcast selections. The sent position slices alias lp.myPos scratch:
@@ -145,28 +139,54 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 	// normalizer, the halo-free/halo-dependent row split, and the receive
 	// slot lists.
 	eg := lp.epochGraph()
-	// Self-normalized mean estimator: sampled remote neighbors carry weight
-	// 1/p in the numerator (the received features arrive pre-scaled), and
-	// the normalizer is the matching effective degree
-	// |local| + (1/p)·|sampled remote|. At p=1 this is exactly the full
-	// degree; for p<1 the estimate is a convex combination of neighbor
-	// features, so sampling noise cannot blow up activations the way the
-	// unnormalized 1/p estimator does on low-degree nodes.
+	// Self-normalized mean estimator: sampled remote neighbors carry the
+	// strategy's receive rescale in the numerator (the received features
+	// arrive pre-scaled), and the normalizer is the matching effective
+	// degree. For BNS that is |local| + (1/p)·|sampled remote| — at p=1
+	// exactly the full degree; for p<1 the estimate is a convex combination
+	// of neighbor features, so sampling noise cannot blow up activations the
+	// way the unnormalized 1/p estimator does on low-degree nodes. Plans with
+	// per-slot scales or dropped inner rows take the generic per-edge walk;
+	// the BNS-shaped plan keeps the historical closed-form expression, whose
+	// float evaluation order the bit-identity goldens pin.
 	invDeg := lp.InvDeg // EstimatorHT: normalize by the full global degree
 	if rt.Cfg.Estimator == EstimatorSelfNorm {
 		invDeg = lp.epochInvDeg
-		for v := 0; v < lp.NIn; v++ {
-			row := eg.Neighbors(int32(v))
-			remote := float32(len(row) - int(lp.localNbrs[v]))
-			eff := float32(lp.localNbrs[v]) + invP*remote
-			if eff > 0 {
-				invDeg[v] = 1 / eff
-			} else {
-				invDeg[v] = 0 // scratch is reused; clear stale entries
+		if haloScale == nil && !plan.DropsInner {
+			for v := 0; v < lp.NIn; v++ {
+				row := eg.Neighbors(int32(v))
+				remote := float32(len(row) - int(lp.localNbrs[v]))
+				eff := float32(lp.localNbrs[v]) + invP*remote
+				if eff > 0 {
+					invDeg[v] = 1 / eff
+				} else {
+					invDeg[v] = 0 // scratch is reused; clear stale entries
+				}
+			}
+		} else {
+			for v := 0; v < lp.NIn; v++ {
+				var eff float32
+				for _, u := range eg.Neighbors(int32(v)) {
+					switch {
+					case int(u) < lp.NIn:
+						eff++
+					case haloScale != nil:
+						eff += haloScale[int(u)-lp.NIn]
+					default:
+						eff += invP
+					}
+				}
+				if eff > 0 {
+					invDeg[v] = 1 / eff
+				} else {
+					invDeg[v] = 0 // dropped or isolated row
+				}
 			}
 		}
 	}
-	lp.splitRows(eg, arrival)
+	if !plan.DropsInner {
+		lp.splitRows(eg, arrival, false)
+	}
 	recvSlots := lp.recvSlots // halo local ids I fill from j
 	for j := 0; j < k; j++ {
 		if j == rank {
@@ -198,6 +218,26 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 		}
 		sendRows[j] = rows
 	}
+	if plan.DropsInner {
+		// Peers may request inner rows the strategy dropped: promote them
+		// back into compute so the features they receive are freshly
+		// computed. The epoch graph was built before promotion, so a
+		// promoted row keeps an empty neighborhood — it self-projects
+		// (the loss mask, also captured pre-promotion, never sees it).
+		// The row split must wait for this: it runs on the post-promotion
+		// active set, restricted (SAGE only — its staged backward tolerates
+		// uncomputed rows; GAT computes inactive rows as isolated nodes,
+		// which contribute exactly zero gradient).
+		for j := 0; j < k; j++ {
+			if j == rank {
+				continue
+			}
+			for _, row := range sendRows[j] {
+				lp.active[row] = true
+			}
+		}
+		lp.splitRows(eg, arrival, rt.Cfg.Model.Arch == ArchSAGE)
+	}
 	ws.Sample = time.Since(start)
 	// exchanging: does this epoch move any halo traffic at all? (False for
 	// k=1, p=0, or an epoch that sampled nothing.) Gates the raw comm-span
@@ -222,6 +262,12 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 		// every edge into them.
 		x := lp.ws.Get(nLocal, dim)
 		copy(x.Data[:lp.NIn*dim], hInner.Data[:lp.NIn*dim])
+		// Rows the restricted split excluded from compute carry stale
+		// scratch in hInner; zero them so the SAGE parameter-gradient
+		// kernels — which read every row — see exact zeros.
+		for _, v := range lp.skipRows {
+			clear(x.Row(int(v)))
+		}
 
 		// Post the halo exchange. Payload buffers alias the epoch
 		// workspace; receivers consume them within this epoch.
@@ -269,7 +315,7 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 			layer.ForwardRows(lp.haloFree)
 			ws.Compute += time.Since(ps)
 
-			lastConsume := rt.drainForwardArrival(w, x, l, dim, invP, drop, layer, nPend, &ws)
+			lastConsume := rt.drainForwardArrival(w, x, l, dim, invP, haloScale, drop, layer, nPend, &ws)
 			if exchanging {
 				// Raw comm span ends at the last consumption, not after the
 				// trailing row compute the drain interleaves — keeping
@@ -291,7 +337,7 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 			ws.Compute += time.Since(ps)
 
 			ds := time.Now()
-			rt.drainForward(w, x, l, dim, invP)
+			rt.drainForward(w, x, l, dim, invP, haloScale)
 			wd := time.Since(ds)
 			ws.CommExposed += wd
 			if exchanging {
@@ -309,7 +355,7 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 		default:
 			// Serialized baseline: identical calls, waits moved up front.
 			ds := time.Now()
-			rt.drainForward(w, x, l, dim, invP)
+			rt.drainForward(w, x, l, dim, invP, haloScale)
 			d := time.Since(ds)
 			ws.CommExposed += d
 			ws.Comm += d
@@ -330,7 +376,7 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 	// --- Loss (line 12) ---
 	ls := time.Now()
 	d := lp.ws.Get(hInner.Rows, hInner.Cols)
-	ws.Loss = LossInto(d, rt.DS, hInner, lp.Labels, lp.LabelMatrix, lp.TrainMask, rt.globalTrainCount)
+	ws.Loss = LossInto(d, rt.DS, hInner, lp.Labels, lp.LabelMatrix, lossMask, rt.globalTrainCount)
 	model.ZeroGrad()
 	ws.Compute += time.Since(ls)
 
@@ -368,8 +414,12 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 			for x2, slot := range recvSlots[j] {
 				src := dxm.Row(int(slot))
 				dst := payload[x2*dim : (x2+1)*dim]
+				s := invP // chain rule through the receive rescale
+				if haloScale != nil {
+					s = haloScale[int(slot)-lp.NIn]
+				}
 				for c, v := range src {
-					dst[c] = v * invP // chain rule through the 1/p scaling
+					dst[c] = v * s
 				}
 			}
 			w.ISendF32(j, tagBackward+l, payload)
@@ -429,6 +479,13 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 		}
 		dNext := lp.ws.Get(lp.NIn, dim)
 		copy(dNext.Data, dxm.Data[:lp.NIn*dim])
+		// Skipped rows' input-gradient rows are stale scratch (no split
+		// write covers them, and no gather reaches an edgeless row); the
+		// layer below multiplies its parameter grads by these rows' dPre,
+		// so they must be exact zeros.
+		for _, v := range lp.skipRows {
+			clear(dNext.Row(int(v)))
+		}
 		for j := 0; j < k; j++ {
 			if j == rank || len(sendRows[j]) == 0 {
 				continue
@@ -470,24 +527,26 @@ func (rt *RankTrainer) runEpoch(w *comm.Worker) RankStats {
 }
 
 // drainForward waits for this layer's boundary feature rows in ascending
-// peer order, writes them into the halo slots of x with the unbiased 1/p
-// rescaling (Section 3.2), and recycles the payload buffers. Callers time
-// the whole call and attribute it to the comm counters themselves.
-func (rt *RankTrainer) drainForward(w *comm.Worker, x *tensor.Matrix, l, dim int, invP float32) {
+// peer order, writes them into the halo slots of x with the strategy's
+// receive rescale (the unbiased 1/p of Section 3.2 for BNS), and recycles
+// the payload buffers. Callers time the whole call and attribute it to the
+// comm counters themselves.
+func (rt *RankTrainer) drainForward(w *comm.Worker, x *tensor.Matrix, l, dim int, invP float32, haloScale []float32) {
 	for j := 0; j < rt.Topo.K; j++ {
 		if j == rt.Rank || len(rt.LP.recvSlots[j]) == 0 {
 			continue
 		}
-		rt.consumeForward(w, x, j, l, dim, invP)
+		rt.consumeForward(w, x, j, l, dim, invP, haloScale)
 	}
 }
 
 // consumeForward waits for peer j's boundary feature rows for this layer,
-// scatters them into j's halo slots of x with the unbiased 1/p rescaling
-// (Section 3.2), and recycles the payload buffer. The slots of different
-// peers are disjoint, so both drains — rank order and arrival order — go
-// through this one path and cannot diverge.
-func (rt *RankTrainer) consumeForward(w *comm.Worker, x *tensor.Matrix, j, l, dim int, invP float32) {
+// scatters them into j's halo slots of x with the strategy's receive rescale
+// (uniform invP, or the plan's per-slot importance weights), and recycles
+// the payload buffer. The slots of different peers are disjoint, so both
+// drains — rank order and arrival order — go through this one path and
+// cannot diverge.
+func (rt *RankTrainer) consumeForward(w *comm.Worker, x *tensor.Matrix, j, l, dim int, invP float32, haloScale []float32) {
 	lp := rt.LP
 	data := lp.pendRecv[j].Wait()
 	if len(data) != len(lp.recvSlots[j])*dim {
@@ -497,8 +556,12 @@ func (rt *RankTrainer) consumeForward(w *comm.Worker, x *tensor.Matrix, j, l, di
 	for x2, slot := range lp.recvSlots[j] {
 		dst := x.Row(int(slot))
 		src := data[x2*dim : (x2+1)*dim]
+		s := invP
+		if haloScale != nil {
+			s = haloScale[int(slot)-lp.NIn]
+		}
 		for c, v := range src {
-			dst[c] = v * invP
+			dst[c] = v * s
 		}
 	}
 	w.RecycleF32(data)
@@ -521,13 +584,13 @@ func (rt *RankTrainer) consumeForward(w *comm.Worker, x *tensor.Matrix, j, l, di
 // the other schedules; the returned time of the last consumption lets the
 // caller end the raw comm span there (zero when nothing was pending).
 func (rt *RankTrainer) drainForwardArrival(w *comm.Worker, x *tensor.Matrix, l, dim int, invP float32,
-	drop *nn.Dropout, layer GraphLayer, nPend int, ws *RankStats) (lastConsume time.Time) {
+	haloScale []float32, drop *nn.Dropout, layer GraphLayer, nPend int, ws *RankStats) (lastConsume time.Time) {
 	lp := rt.LP
 	copy(lp.rowWait, lp.rowWaitInit) // re-arm the countdown for this layer's drain
 	for i := 0; i < nPend; i++ {
 		cs := time.Now()
 		j := <-rt.arrCh
-		rt.consumeForward(w, x, j, l, dim, invP)
+		rt.consumeForward(w, x, j, l, dim, invP, haloScale)
 		lastConsume = time.Now()
 		ws.CommExposed += lastConsume.Sub(cs)
 

@@ -1,0 +1,179 @@
+package core
+
+import "repro/internal/tensor"
+
+// This file defines the pluggable epoch-sampling contract: boundary-node
+// sampling (the paper's Algorithm 1) is one policy for shrinking the
+// per-epoch subgraph each partition trains on, and the engine only ever
+// needed three things from it — which rows participate, which halo slots to
+// request from each peer, and how received features are rescaled. Strategy
+// captures exactly that, so LADIES-style layer-wise importance sampling and
+// GraphSAINT-style subgraph sampling (internal/sampling) ride the same
+// pipelined halo overlap, fused kernels, and checkpoint/resume as BNS.
+//
+// The interface lives in core rather than internal/sampling because the
+// sampling package already imports core (its MinibatchTrainer drives
+// core.Model); sampling re-exports the names as type aliases so
+// `sampling.Strategy` remains the canonical spelling for implementations.
+
+// PartitionView is the static, read-only description of one rank's
+// partition that a Strategy samples against. All slices alias trainer
+// state and must not be mutated.
+type PartitionView struct {
+	Rank int
+	K    int
+	NIn  int // inner nodes, local rows [0, NIn)
+	NBd  int // boundary slots, local rows [NIn, NIn+NBd)
+
+	// RecvLists[j] lists, per peer j, the boundary-slot indices (offsets
+	// into [0, NBd)) this rank would receive from j at p=1, in the canonical
+	// position order the wire protocol aligns on. RecvLists[Rank] is nil.
+	RecvLists [][]int32
+	// SlotOwner[s] is the rank owning boundary slot s.
+	SlotOwner []int32
+	// Indptr/Indices are the full local adjacency over inner ∪ boundary
+	// rows (only inner rows have neighbors), the p=1 epoch graph.
+	Indptr  []int64
+	Indices []int32
+	// TrainMask marks the inner rows that carry training loss.
+	TrainMask []bool
+	// InnerDeg and SlotDeg are global degrees — the importance weights
+	// degree-proportional strategies sample with.
+	InnerDeg []int32
+	SlotDeg  []int32
+}
+
+// Plan is one epoch's sampling decision. The engine allocates it once per
+// trainer and hands it to the Strategy to fill; every slice keeps its
+// capacity across epochs so a steady-state epoch plans without allocating.
+type Plan struct {
+	// Active[v] marks the local rows (inner and boundary-slot space,
+	// length NIn+NBd) participating in this epoch's subgraph. Edges into
+	// inactive rows are dropped; inactive inner rows also drop their
+	// outgoing edges and leave the loss.
+	Active []bool
+	// Positions[j] holds the positions (indices into RecvLists[j]) whose
+	// boundary features this rank requests from peer j, ascending. Must be
+	// consistent with Active: position x of peer j is listed iff
+	// Active[NIn+RecvLists[j][x]].
+	Positions [][]int32
+	// InvP is the uniform Horvitz–Thompson rescale applied to every
+	// received boundary feature (and the matching backward payloads).
+	// BNS sets 1/p; strategies without a uniform inclusion probability set
+	// 1 and use HaloScale. The engine gates it to 1 for architectures that
+	// normalize per-neighborhood (GAT).
+	InvP float32
+	// HaloScale, when non-nil, gives a per-boundary-slot receive rescale
+	// (length NBd, indexed by slot) that replaces InvP — how an importance
+	// sampler expresses per-node inclusion probabilities. nil = uniform.
+	HaloScale []float32
+	// DropsInner reports that some inner rows are inactive this epoch
+	// (subgraph strategies). The engine then intersects the loss mask with
+	// Active and keeps peer-requested rows computable.
+	DropsInner bool
+}
+
+// Strategy produces the per-epoch local subgraph and halo demand for one
+// rank. Implementations must be deterministic functions of their seed and
+// call sequence: every rank runs its own instance, and bit-identical
+// replicas across schedules and transports rely on PlanEpoch consuming its
+// RNG identically regardless of timing. State/SetState expose the RNG
+// position for trainer checkpoints, so resumed runs replan identically.
+type Strategy interface {
+	// Name identifies the strategy in checkpoints; resuming under a
+	// different name is rejected.
+	Name() string
+	// Bind attaches the strategy to one rank's partition before training.
+	// Called exactly once, before the first PlanEpoch.
+	Bind(view *PartitionView)
+	// PlanEpoch fills p (whose slices arrive with stale previous-epoch
+	// contents) with this epoch's decision.
+	PlanEpoch(p *Plan)
+	// State and SetState round-trip the sampling RNG position.
+	State() uint64
+	SetState(s uint64)
+}
+
+// StrategyFactory builds one rank's Strategy instance. ParallelConfig
+// carries a factory rather than an instance so every rank — including
+// independently bootstrapped processes — constructs its own deterministic,
+// rank-seeded stream.
+type StrategyFactory func(rank int) Strategy
+
+// bnsStrategy is the default Strategy: the paper's random boundary-node
+// sampling, bit-identical to the engine's historically baked-in path — the
+// RNG stream (one Float32 per full-list position, peers in ascending rank
+// order), the float expressions (1/float32(p) rescale), and the resulting
+// Plan reproduce the legacy epoch exactly, which the golden-signature test
+// pins.
+type bnsStrategy struct {
+	p    float64
+	seed uint64
+	rng  *tensor.RNG
+	view *PartitionView
+}
+
+// NewBNSStrategy returns the boundary-node sampling strategy at rate p for
+// one rank, seeded exactly as the legacy engine seeded its sampling stream.
+func NewBNSStrategy(p float64, sampleSeed uint64, rank int) Strategy {
+	return &bnsStrategy{p: p, seed: sampleSeed + uint64(rank)*0x9e3779b9}
+}
+
+// Name implements Strategy.
+func (s *bnsStrategy) Name() string { return "bns" }
+
+// Bind implements Strategy.
+func (s *bnsStrategy) Bind(view *PartitionView) {
+	s.view = view
+	s.rng = tensor.NewRNG(s.seed)
+}
+
+// State implements Strategy.
+func (s *bnsStrategy) State() uint64 { return s.rng.State() }
+
+// SetState implements Strategy.
+func (s *bnsStrategy) SetState(st uint64) { s.rng.SetState(st) }
+
+// PlanEpoch implements Strategy: Algorithm 1 lines 4–6. Every inner row is
+// active; each boundary position is kept independently with probability p,
+// drawing one Float32 per position with peers visited in ascending rank
+// order — the exact RNG consumption order of the legacy engine.
+func (s *bnsStrategy) PlanEpoch(plan *Plan) {
+	v := s.view
+	p32 := float32(s.p)
+	for i := range plan.Active {
+		plan.Active[i] = i < v.NIn
+	}
+	for j := 0; j < v.K; j++ {
+		if j == v.Rank {
+			continue
+		}
+		full := v.RecvLists[j]
+		pos := plan.Positions[j][:0]
+		switch {
+		case s.p >= 1:
+			pos = pos[:len(full)]
+			for x := range pos {
+				pos[x] = int32(x)
+			}
+		case s.p <= 0:
+			// nothing sampled
+		default:
+			for x := range full {
+				if s.rng.Float32() < p32 {
+					pos = append(pos, int32(x))
+				}
+			}
+		}
+		plan.Positions[j] = pos
+		for _, x := range pos {
+			plan.Active[v.NIn+int(full[x])] = true
+		}
+	}
+	plan.InvP = 1
+	if s.p > 0 {
+		plan.InvP = 1 / float32(s.p)
+	}
+	plan.HaloScale = nil
+	plan.DropsInner = false
+}

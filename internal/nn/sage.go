@@ -386,10 +386,17 @@ func (l *SAGEConv) BackwardFinish(freeSrc []int32, nIn int) *tensor.Matrix {
 // InvDegrees returns 1/degree for every node of g (0 for isolated nodes),
 // the standard normalizer for exact full-graph mean aggregation.
 func InvDegrees(g *graph.Graph) []float32 {
-	inv := make([]float32, g.N)
+	return InvDegreesInto(make([]float32, g.N), g)
+}
+
+// InvDegreesInto is InvDegrees writing into a caller-owned slice (length
+// g.N, fully overwritten), for allocation-free batch loops. Returns inv.
+func InvDegreesInto(inv []float32, g *graph.Graph) []float32 {
 	for v := 0; v < g.N; v++ {
 		if d := g.Degree(int32(v)); d > 0 {
 			inv[v] = 1 / float32(d)
+		} else {
+			inv[v] = 0
 		}
 	}
 	return inv

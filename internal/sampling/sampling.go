@@ -26,6 +26,19 @@ type Batch struct {
 	TargetMask []bool       // local rows contributing to the loss
 }
 
+// SamplerState is a sampler's resumable position: the current RNG state,
+// and — for samplers that shuffle their target list per epoch — the RNG
+// state the running epoch's shuffle was drawn from plus the cursor into it.
+// Restoring replays the shuffle from EpochRNG, repositions the cursor, then
+// restores the exact current stream position, so a resumed sampler produces
+// the same batch sequence an uninterrupted one would, even mid-epoch.
+// Samplers without an epoch order leave EpochRNG/Cursor zero.
+type SamplerState struct {
+	RNG      uint64
+	EpochRNG uint64
+	Cursor   int
+}
+
 // Sampler produces training batches. Implementations must be deterministic
 // given the RNG passed at construction.
 type Sampler interface {
@@ -35,6 +48,10 @@ type Sampler interface {
 	Sample() *Batch
 	// BatchesPerEpoch is how many batches constitute one epoch.
 	BatchesPerEpoch() int
+	// State and SetState round-trip the sampler's resumable position (the
+	// minibatch analogue of the trainer checkpoint's strategy state).
+	State() SamplerState
+	SetState(SamplerState)
 }
 
 // trainNodeList extracts the global ids with mask set.
@@ -76,14 +93,15 @@ func induceBatch(g *graph.Graph, targets []int32, context map[int32]bool) *Batch
 // a batch of train nodes is expanded layer by layer, keeping at most Fanout
 // random neighbors per node per hop.
 type NeighborSampler struct {
-	G      *graph.Graph
-	Train  []int32
-	Batch  int
-	Fanout int
-	Hops   int
-	rng    *tensor.RNG
-	cursor int
-	order  []int32
+	G        *graph.Graph
+	Train    []int32
+	Batch    int
+	Fanout   int
+	Hops     int
+	rng      *tensor.RNG
+	epochRNG uint64 // rng position the running epoch's shuffle was drawn from
+	cursor   int
+	order    []int32
 }
 
 // NewNeighborSampler builds the sampler over the train mask.
@@ -97,6 +115,7 @@ func NewNeighborSampler(g *graph.Graph, trainMask []bool, batch, fanout, hops in
 }
 
 func (s *NeighborSampler) reshuffle() {
+	s.epochRNG = s.rng.State()
 	perm := s.rng.Perm(len(s.Train))
 	s.order = make([]int32, len(s.Train))
 	for i, p := range perm {
@@ -107,6 +126,19 @@ func (s *NeighborSampler) reshuffle() {
 
 // Name implements Sampler.
 func (s *NeighborSampler) Name() string { return "NeighborSampling" }
+
+// State implements Sampler.
+func (s *NeighborSampler) State() SamplerState {
+	return SamplerState{RNG: s.rng.State(), EpochRNG: s.epochRNG, Cursor: s.cursor}
+}
+
+// SetState implements Sampler.
+func (s *NeighborSampler) SetState(st SamplerState) {
+	s.rng.SetState(st.EpochRNG)
+	s.reshuffle()
+	s.cursor = st.Cursor
+	s.rng.SetState(st.RNG)
+}
 
 // BatchesPerEpoch implements Sampler.
 func (s *NeighborSampler) BatchesPerEpoch() int {
@@ -162,6 +194,7 @@ type FastGCNSampler struct {
 	Batch     int
 	LayerSize int
 	rng       *tensor.RNG
+	epochRNG  uint64    // rng position the running epoch's shuffle was drawn from
 	prefix    []float64 // degree-cumulative for importance sampling
 	cursor    int
 	order     []int32
@@ -182,6 +215,7 @@ func NewFastGCNSampler(g *graph.Graph, trainMask []bool, batch, layerSize int, s
 }
 
 func (s *FastGCNSampler) reshuffle() {
+	s.epochRNG = s.rng.State()
 	perm := s.rng.Perm(len(s.Train))
 	s.order = make([]int32, len(s.Train))
 	for i, p := range perm {
@@ -192,6 +226,19 @@ func (s *FastGCNSampler) reshuffle() {
 
 // Name implements Sampler.
 func (s *FastGCNSampler) Name() string { return "FastGCN" }
+
+// State implements Sampler.
+func (s *FastGCNSampler) State() SamplerState {
+	return SamplerState{RNG: s.rng.State(), EpochRNG: s.epochRNG, Cursor: s.cursor}
+}
+
+// SetState implements Sampler.
+func (s *FastGCNSampler) SetState(st SamplerState) {
+	s.rng.SetState(st.EpochRNG)
+	s.reshuffle()
+	s.cursor = st.Cursor
+	s.rng.SetState(st.RNG)
+}
 
 // BatchesPerEpoch implements Sampler.
 func (s *FastGCNSampler) BatchesPerEpoch() int {
@@ -236,6 +283,7 @@ type LADIESSampler struct {
 	LayerSize int
 	Hops      int
 	rng       *tensor.RNG
+	epochRNG  uint64 // rng position the running epoch's shuffle was drawn from
 	cursor    int
 	order     []int32
 }
@@ -251,6 +299,7 @@ func NewLADIESSampler(g *graph.Graph, trainMask []bool, batch, layerSize, hops i
 }
 
 func (s *LADIESSampler) reshuffle() {
+	s.epochRNG = s.rng.State()
 	perm := s.rng.Perm(len(s.Train))
 	s.order = make([]int32, len(s.Train))
 	for i, p := range perm {
@@ -261,6 +310,19 @@ func (s *LADIESSampler) reshuffle() {
 
 // Name implements Sampler.
 func (s *LADIESSampler) Name() string { return "LADIES" }
+
+// State implements Sampler.
+func (s *LADIESSampler) State() SamplerState {
+	return SamplerState{RNG: s.rng.State(), EpochRNG: s.epochRNG, Cursor: s.cursor}
+}
+
+// SetState implements Sampler.
+func (s *LADIESSampler) SetState(st SamplerState) {
+	s.rng.SetState(st.EpochRNG)
+	s.reshuffle()
+	s.cursor = st.Cursor
+	s.rng.SetState(st.RNG)
+}
 
 // BatchesPerEpoch implements Sampler.
 func (s *LADIESSampler) BatchesPerEpoch() int {
@@ -355,6 +417,14 @@ func NewClusterGCNSampler(g *graph.Graph, trainMask []bool, parts []int32, nclus
 // Name implements Sampler.
 func (s *ClusterGCNSampler) Name() string { return "ClusterGCN" }
 
+// State implements Sampler (no epoch order: the RNG is the whole state).
+func (s *ClusterGCNSampler) State() SamplerState {
+	return SamplerState{RNG: s.rng.State()}
+}
+
+// SetState implements Sampler.
+func (s *ClusterGCNSampler) SetState(st SamplerState) { s.rng.SetState(st.RNG) }
+
 // BatchesPerEpoch implements Sampler.
 func (s *ClusterGCNSampler) BatchesPerEpoch() int {
 	n := len(s.members) / s.BlocksPerStep
@@ -440,6 +510,14 @@ func NewGraphSAINTSampler(g *graph.Graph, trainMask []bool, mode SAINTMode, budg
 
 // Name implements Sampler.
 func (s *GraphSAINTSampler) Name() string { return s.Mode.String() }
+
+// State implements Sampler (no epoch order: the RNG is the whole state).
+func (s *GraphSAINTSampler) State() SamplerState {
+	return SamplerState{RNG: s.rng.State()}
+}
+
+// SetState implements Sampler.
+func (s *GraphSAINTSampler) SetState(st SamplerState) { s.rng.SetState(st.RNG) }
 
 // BatchesPerEpoch implements Sampler.
 func (s *GraphSAINTSampler) BatchesPerEpoch() int {

@@ -1,0 +1,235 @@
+package sampling
+
+import (
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// This file hosts the partition-parallel epoch-sampling strategies. The
+// contract itself (Strategy, PartitionView, Plan) lives in core — the
+// engine's package — because sampling already imports core for the
+// minibatch trainer; the aliases below make sampling.Strategy the canonical
+// spelling, and the two non-BNS strategies live here next to their
+// single-machine minibatch cousins.
+//
+// Both strategies are partition-local adaptations: each rank samples against
+// its own boundary set (LADIES) or inner set (SAINT) with a rank-seeded
+// stream, and the engine's position-exchange protocol reconciles the demands
+// exactly as it does for BNS. They therefore ride the pipelined halo
+// overlap, the fused SAGE kernels, elastic checkpoint/resume, and the
+// alloc-free epoch without any engine-side special cases beyond what the
+// Plan expresses (per-slot receive scales, dropped inner rows).
+
+// Strategy produces the per-epoch local subgraph and halo demand for one
+// rank; see core.Strategy for the full contract.
+type Strategy = core.Strategy
+
+// PartitionView is the static partition description a Strategy samples
+// against; see core.PartitionView.
+type PartitionView = core.PartitionView
+
+// Plan is one epoch's sampling decision; see core.Plan.
+type Plan = core.Plan
+
+// StrategyFactory builds one rank's Strategy; see core.StrategyFactory.
+type StrategyFactory = core.StrategyFactory
+
+// NewBNSFactory returns a factory for the paper's boundary-node sampling at
+// rate p — the engine's default, spelled as a factory for symmetry with the
+// other strategies (cmd/bnsgcn's -sampler flag maps names to factories).
+func NewBNSFactory(p float64, seed uint64) StrategyFactory {
+	return func(rank int) Strategy { return core.NewBNSStrategy(p, seed, rank) }
+}
+
+// ladiesStrategy is partition-local LADIES-style layer-wise importance
+// sampling (Zou et al., 2019) hosted on the partition-parallel engine: the
+// candidate layer is this rank's boundary set, each slot is kept with a
+// static degree-proportional inclusion probability scaled to an expected
+// Budget slots per epoch, and kept features arrive rescaled by the inverse
+// inclusion probability (per-slot Horvitz–Thompson, Plan.HaloScale) so the
+// mean aggregation stays unbiased. Inner rows always participate — like
+// BNS, the strategy only modulates the halo, so the loss and the compute
+// row set match the full partition every epoch.
+type ladiesStrategy struct {
+	budget int
+	seed   uint64
+	rng    *tensor.RNG
+	view   *PartitionView
+	prob   []float32 // per-slot inclusion probability
+	scale  []float32 // per-slot 1/prob (the HT receive rescale)
+}
+
+// NewLADIESFactory returns a factory for partition-local LADIES-style
+// boundary sampling with an expected budget of kept boundary slots per rank
+// per epoch. budget <= 0 keeps every slot (inclusion probability 1).
+func NewLADIESFactory(budget int, seed uint64) StrategyFactory {
+	return func(rank int) Strategy {
+		return &ladiesStrategy{budget: budget, seed: seed + uint64(rank)*0x9e3779b9}
+	}
+}
+
+// Name implements Strategy.
+func (s *ladiesStrategy) Name() string { return "ladies" }
+
+// Bind implements Strategy: the inclusion probabilities are a static
+// function of the partition's boundary degrees, computed once.
+func (s *ladiesStrategy) Bind(view *PartitionView) {
+	s.view = view
+	s.rng = tensor.NewRNG(s.seed)
+	s.prob = make([]float32, view.NBd)
+	s.scale = make([]float32, view.NBd)
+	var sum float64
+	for _, d := range view.SlotDeg {
+		sum += float64(d) + 1
+	}
+	for i, d := range view.SlotDeg {
+		p := 1.0
+		if s.budget > 0 && sum > 0 {
+			p = float64(s.budget) * (float64(d) + 1) / sum
+			if p > 1 {
+				p = 1
+			}
+		}
+		s.prob[i] = float32(p)
+		s.scale[i] = float32(1 / p)
+	}
+}
+
+// State implements Strategy.
+func (s *ladiesStrategy) State() uint64 { return s.rng.State() }
+
+// SetState implements Strategy.
+func (s *ladiesStrategy) SetState(st uint64) { s.rng.SetState(st) }
+
+// PlanEpoch implements Strategy: one draw per boundary slot in ascending
+// slot order — a peer-structure-independent RNG stream, so the plan is a
+// pure function of (seed, epoch) regardless of schedule or transport.
+func (s *ladiesStrategy) PlanEpoch(plan *Plan) {
+	v := s.view
+	for i := range plan.Active {
+		plan.Active[i] = i < v.NIn
+	}
+	for si := 0; si < v.NBd; si++ {
+		if s.rng.Float32() < s.prob[si] {
+			plan.Active[v.NIn+si] = true
+		}
+	}
+	for j := 0; j < v.K; j++ {
+		if j == v.Rank {
+			continue
+		}
+		pos := plan.Positions[j][:0]
+		for x, slot := range v.RecvLists[j] {
+			if plan.Active[v.NIn+int(slot)] {
+				pos = append(pos, int32(x))
+			}
+		}
+		plan.Positions[j] = pos
+	}
+	plan.InvP = 1
+	plan.HaloScale = s.scale
+	plan.DropsInner = false
+}
+
+// saintStrategy is GraphSAINT-style subgraph sampling (Zeng et al., 2020)
+// hosted on the partition-parallel engine: each epoch every rank keeps a
+// degree-proportional random subset of its inner nodes (expected fraction
+// Frac) and trains on the node-induced subgraph over the kept rows plus the
+// halo slots they touch. Dropped rows leave the compute lists (SAGE) or
+// become isolated zero-gradient nodes (GAT), and leave the loss either way;
+// rows a peer still requests are promoted back to compute with an empty
+// neighborhood (they self-project), so the wire protocol never ships stale
+// features. Aggregations renormalize over the present neighbors (the
+// self-normalized estimator's generic walk), so no receive rescale applies.
+type saintStrategy struct {
+	frac float64
+	seed uint64
+	rng  *tensor.RNG
+	view *PartitionView
+	prob []float32 // per-inner-row keep probability
+}
+
+// NewSAINTFactory returns a factory for GraphSAINT-style node-budget
+// subgraph sampling keeping an expected frac of each rank's inner nodes per
+// epoch. frac >= 1 (or <= 0) keeps every node.
+func NewSAINTFactory(frac float64, seed uint64) StrategyFactory {
+	return func(rank int) Strategy {
+		return &saintStrategy{frac: frac, seed: seed + uint64(rank)*0x9e3779b9}
+	}
+}
+
+// Name implements Strategy.
+func (s *saintStrategy) Name() string { return "saint" }
+
+// Bind implements Strategy: per-row keep probabilities proportional to
+// degree+1, normalized so the expected kept count is frac·NIn (capped at 1
+// per row, which skews mass toward low-degree rows exactly like GraphSAINT's
+// clipped node sampler).
+func (s *saintStrategy) Bind(view *PartitionView) {
+	s.view = view
+	s.rng = tensor.NewRNG(s.seed)
+	s.prob = make([]float32, view.NIn)
+	keepAll := s.frac <= 0 || s.frac >= 1
+	var sum float64
+	for _, d := range view.InnerDeg {
+		sum += float64(d) + 1
+	}
+	for i, d := range view.InnerDeg {
+		p := 1.0
+		if !keepAll && sum > 0 {
+			p = s.frac * float64(view.NIn) * (float64(d) + 1) / sum
+			if p > 1 {
+				p = 1
+			}
+		}
+		s.prob[i] = float32(p)
+	}
+}
+
+// State implements Strategy.
+func (s *saintStrategy) State() uint64 { return s.rng.State() }
+
+// SetState implements Strategy.
+func (s *saintStrategy) SetState(st uint64) { s.rng.SetState(st) }
+
+// PlanEpoch implements Strategy: one draw per inner row in ascending row
+// order, then the halo demand is exactly the set of slots adjacent to a
+// kept row — nothing else is requested, so comm volume shrinks with the
+// subgraph.
+func (s *saintStrategy) PlanEpoch(plan *Plan) {
+	v := s.view
+	for i := range plan.Active {
+		plan.Active[i] = false
+	}
+	for r := 0; r < v.NIn; r++ {
+		if s.rng.Float32() < s.prob[r] {
+			plan.Active[r] = true
+		}
+	}
+	nIn := int32(v.NIn)
+	for r := 0; r < v.NIn; r++ {
+		if !plan.Active[r] {
+			continue
+		}
+		for _, u := range v.Indices[v.Indptr[r]:v.Indptr[r+1]] {
+			if u >= nIn {
+				plan.Active[u] = true
+			}
+		}
+	}
+	for j := 0; j < v.K; j++ {
+		if j == v.Rank {
+			continue
+		}
+		pos := plan.Positions[j][:0]
+		for x, slot := range v.RecvLists[j] {
+			if plan.Active[v.NIn+int(slot)] {
+				pos = append(pos, int32(x))
+			}
+		}
+		plan.Positions[j] = pos
+	}
+	plan.InvP = 1
+	plan.HaloScale = nil
+	plan.DropsInner = true
+}

@@ -24,6 +24,54 @@ type MinibatchTrainer struct {
 	SampleTime  time.Duration
 	ComputeTime time.Duration
 	evalTrainer *core.FullTrainer
+
+	// Trainer-owned batch scratch, sized to the largest batch seen and
+	// reused — the same layer-owned-scratch discipline RankTrainer's epoch
+	// engine runs with, so a steady-state TrainStep's only allocations are
+	// the sampler's own batch assembly.
+	featsBuf    *tensor.Matrix
+	labelMatBuf *tensor.Matrix
+	gradBuf     *tensor.Matrix
+	labelsBuf   []int32
+	invDegBuf   []float32
+}
+
+// ensureMat returns a rows × cols matrix stored at *buf with undefined
+// contents, reallocating only on capacity growth (nn's layer-scratch idiom).
+func ensureMat(buf **tensor.Matrix, rows, cols int) *tensor.Matrix {
+	m := *buf
+	n := rows * cols
+	if m == nil || cap(m.Data) < n {
+		m = tensor.New(rows, cols)
+		*buf = m
+		return m
+	}
+	m.Rows, m.Cols, m.Data = rows, cols, m.Data[:n]
+	return m
+}
+
+// ensureI32 returns a length-n int32 slice stored at *buf, contents undefined.
+func ensureI32(buf *[]int32, n int) []int32 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]int32, n)
+	} else {
+		s = s[:n]
+	}
+	*buf = s
+	return s
+}
+
+// ensureF32 returns a length-n float32 slice stored at *buf, contents undefined.
+func ensureF32(buf *[]float32, n int) []float32 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]float32, n)
+	} else {
+		s = s[:n]
+	}
+	*buf = s
+	return s
 }
 
 // NewMinibatchTrainer builds a trainer around the given sampler.
@@ -50,25 +98,28 @@ func (t *MinibatchTrainer) TrainStep() float64 {
 	cs := time.Now()
 	defer func() { t.ComputeTime += time.Since(cs) }()
 
-	feats := tensor.GatherRows(t.DS.Features, batch.Nodes)
+	feats := ensureMat(&t.featsBuf, len(batch.Nodes), t.DS.Features.Cols)
+	tensor.GatherRowsInto(feats, t.DS.Features, batch.Nodes)
 	var labels []int32
 	var labelMatrix *tensor.Matrix
 	if t.DS.MultiLabel {
-		labelMatrix = tensor.GatherRows(t.DS.LabelMatrix, batch.Nodes)
+		labelMatrix = ensureMat(&t.labelMatBuf, len(batch.Nodes), t.DS.LabelMatrix.Cols)
+		tensor.GatherRowsInto(labelMatrix, t.DS.LabelMatrix, batch.Nodes)
 	} else {
-		labels = make([]int32, len(batch.Nodes))
+		labels = ensureI32(&t.labelsBuf, len(batch.Nodes))
 		for i, v := range batch.Nodes {
 			labels[i] = t.DS.Labels[v]
 		}
 	}
-	invDeg := nn.InvDegrees(batch.G)
+	invDeg := nn.InvDegreesInto(ensureF32(&t.invDegBuf, batch.G.N), batch.G)
 
 	h := feats
 	for l, layer := range t.Model.LayersL {
 		h = t.Model.Dropouts[l].Forward(h, true)
 		h = layer.Forward(batch.G, h, batch.G.N, invDeg)
 	}
-	loss, d := core.Loss(t.DS, h, labels, labelMatrix, batch.TargetMask, 0)
+	d := ensureMat(&t.gradBuf, h.Rows, h.Cols)
+	loss := core.LossInto(d, t.DS, h, labels, labelMatrix, batch.TargetMask, 0)
 	t.Model.ZeroGrad()
 	for l := len(t.Model.LayersL) - 1; l >= 0; l-- {
 		d = t.Model.LayersL[l].Backward(d)

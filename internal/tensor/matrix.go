@@ -202,10 +202,19 @@ func SplitCols(m *Matrix, c int) (left, right *Matrix) {
 // GatherRows returns a new matrix whose i-th row is src.Row(idx[i]).
 func GatherRows(src *Matrix, idx []int32) *Matrix {
 	out := New(len(idx), src.Cols)
+	GatherRowsInto(out, src, idx)
+	return out
+}
+
+// GatherRowsInto is GatherRows writing into a caller-owned matrix (which
+// must be len(idx) × src.Cols), for allocation-free batch loops.
+func GatherRowsInto(out, src *Matrix, idx []int32) {
+	if out.Rows != len(idx) || out.Cols != src.Cols {
+		panic(fmt.Sprintf("tensor: GatherRowsInto out %dx%d, want %dx%d", out.Rows, out.Cols, len(idx), src.Cols))
+	}
 	for i, r := range idx {
 		copy(out.Row(i), src.Row(int(r)))
 	}
-	return out
 }
 
 // ScatterAddRows adds src.Row(i) into dst.Row(idx[i]) for each i.
