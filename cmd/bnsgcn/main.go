@@ -58,6 +58,7 @@ import (
 	"os/exec"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/comm"
@@ -99,15 +100,16 @@ func main() {
 		rdv   = flag.String("rendezvous", "", "host:port rank 0 serves during bootstrap; enables the TCP transport")
 		spawn = flag.Bool("spawn", false, "launch -world local worker processes (one per partition) and wait")
 
-		ckptDir    = flag.String("checkpoint-dir", "", "checkpoint directory; enables elastic fault-tolerant training (requires -world; every rank and any -join replacement must see the same directory)")
-		ckptEvery  = flag.Int("checkpoint-every", 5, "checkpoint cadence in epochs for elastic training")
-		ckptKeep   = flag.Int("checkpoint-keep", 3, "checkpoint generations retained per rank (older ones are pruned after each save; the cohort's agreed resume generation is always kept; 0 = keep everything)")
-		join       = flag.Bool("join", false, "re-admit this process into a dead rank's slot: resume the -rank given from the shared -checkpoint-dir (the training loop is identical; the flag documents intent and is validated)")
-		hostsFile  = flag.String("hosts", "", "file with one rendezvous candidate per rank, host or host:port per line (# comments ok); default: loopback ports 29500+rank")
-		listenHost = flag.String("listen-host", "", "interface data listeners bind and advertise (default 127.0.0.1; multi-host runs must set this rank's reachable address)")
-		hbEvery    = flag.Duration("heartbeat-interval", 2*time.Second, "TCP heartbeat cadence for wedged-peer detection in elastic runs (0 disables; only closed connections are then detected)")
-		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "silence after which a peer is declared wedged (0 = 4x heartbeat-interval)")
-		maxRecover = flag.Int("max-recoveries", 5, "peer deaths an elastic rank absorbs before giving up")
+		ckptDir     = flag.String("checkpoint-dir", "", "checkpoint directory; enables elastic fault-tolerant training (requires -world; every rank and any -join replacement must see the same directory)")
+		ckptEvery   = flag.Int("checkpoint-every", 5, "checkpoint cadence in epochs for elastic training")
+		ckptKeep    = flag.Int("checkpoint-keep", 3, "checkpoint generations retained per rank (older ones are pruned after each save; the cohort's agreed resume generation is always kept; 0 = keep everything)")
+		join        = flag.Bool("join", false, "re-admit this process into a dead rank's slot: resume the -rank given from the shared -checkpoint-dir (the training loop is identical; the flag documents intent and is validated)")
+		hostsFile   = flag.String("hosts", "", "file with one rendezvous candidate per rank, host or host:port per line (# comments ok); default: loopback ports 29500+rank")
+		listenHost  = flag.String("listen-host", "", "interface data listeners bind and advertise (default 127.0.0.1; multi-host runs must set this rank's reachable address)")
+		hbEvery     = flag.Duration("heartbeat-interval", 2*time.Second, "TCP heartbeat cadence for wedged-peer detection in elastic runs (0 disables; only closed connections are then detected)")
+		hbTimeout   = flag.Duration("heartbeat-timeout", 0, "silence after which a peer is declared wedged (0 = 4x heartbeat-interval)")
+		maxRecover  = flag.Int("max-recoveries", 5, "peer deaths an elastic rank absorbs before giving up")
+		resizeAfter = flag.Int("resize-after", 0, "elastic: after this many stable incomplete rendezvous rounds, the surviving ranks (at least two) elect a smaller world, repartition the dead ranks' nodes among themselves, and train on — instead of waiting for a replacement forever (0 = wait forever, the default). A later -join replacement grows the world back")
 	)
 	flag.Parse()
 
@@ -234,13 +236,14 @@ func main() {
 			}
 			logf("training %s (%d layers, %d hidden) for %d epochs at p=%.2g on %d elastic processes over TCP (checkpoints every %d epochs in %s)\n\n",
 				*arch, *layers, *hidden, *epochs, *p, *world, *ckptEvery, *ckptDir)
-			trainElastic(ds, topo, pcfg, elastic.RunnerConfig{
+			trainElastic(ds, parts, topo, pcfg, elastic.RunnerConfig{
 				Config: elastic.Config{
 					Dir: *ckptDir, Every: *ckptEvery, Epochs: *epochs, MaxRecoveries: *maxRecover,
-					KeepGenerations: *ckptKeep,
+					KeepGenerations: *ckptKeep, ResizeAfter: *resizeAfter,
 				},
 				Rank: *rank, World: *world, Candidates: cands, ListenHost: *listenHost,
 				HeartbeatInterval: *hbEvery, HeartbeatTimeout: *hbTimeout,
+				Rejoin: *join,
 			}, *every)
 			return
 		}
@@ -271,7 +274,10 @@ func main() {
 // rendezvousCandidates builds the per-rank elastic rendezvous candidate
 // list: from a hosts file (one host or host:port per line, # comments and
 // blank lines skipped) or, absent one, loopback ports 29500+rank. Lines
-// without a port get 29500+rank so a plain list of hostnames works.
+// without a port get 29500+rank so a plain list of hostnames works. Every
+// candidate must be distinct — two ranks sharing one would fight over the
+// same rendezvous address and wedge the cohort — so duplicates and
+// malformed entries are rejected up front, naming the offending lines.
 func rendezvousCandidates(hostsFile string, world int) ([]string, error) {
 	const basePort = 29500
 	if hostsFile == "" {
@@ -281,34 +287,55 @@ func rendezvousCandidates(hostsFile string, world int) ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("-hosts: %w", err)
 	}
-	var hosts []string
-	for _, line := range strings.Split(string(data), "\n") {
+	type entry struct {
+		raw  string
+		line int // 1-based line number in the file
+	}
+	var hosts []entry
+	for i, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		hosts = append(hosts, line)
+		hosts = append(hosts, entry{raw: line, line: i + 1})
 	}
 	if len(hosts) != world {
 		return nil, fmt.Errorf("-hosts %s lists %d ranks, -world is %d", hostsFile, len(hosts), world)
 	}
+	out := make([]string, world)
+	seen := make(map[string]entry, world)
 	for r, h := range hosts {
-		if !strings.Contains(h, ":") {
-			hosts[r] = net.JoinHostPort(h, strconv.Itoa(basePort+r))
+		addr := h.raw
+		if !strings.Contains(addr, ":") {
+			addr = net.JoinHostPort(addr, strconv.Itoa(basePort+r))
+		} else if _, _, err := net.SplitHostPort(addr); err != nil {
+			return nil, fmt.Errorf("-hosts %s line %d: %q is not a host or host:port (IPv6 addresses need [brackets]): %v",
+				hostsFile, h.line, h.raw, err)
 		}
+		key := strings.ToLower(addr)
+		if first, dup := seen[key]; dup {
+			return nil, fmt.Errorf("-hosts %s line %d (%q) conflicts with line %d (%q): both resolve to rendezvous candidate %s, but every rank needs its own — a shared candidate wedges the cohort at rendezvous",
+				hostsFile, h.line, h.raw, first.line, first.raw, addr)
+		}
+		seen[key] = h
+		out[r] = addr
 	}
-	return hosts, nil
+	return out, nil
 }
 
 // trainElastic runs this process's single rank under the elastic recovery
 // loop: periodic atomic checkpoints, peer-death detection, re-rendezvous,
-// and resume — bit-identical to an uninterrupted run.
-func trainElastic(ds *datagen.Dataset, topo *core.Topology, pcfg core.ParallelConfig,
+// and resume — bit-identical to an uninterrupted run. With -resize-after,
+// a permanently lost peer shrinks the world instead of wedging it: the
+// members-aware trainer factory folds the dead slots' nodes into the
+// survivors' partitions (partition.ShrinkToMembers) and rebuilds the
+// topology at k', with this process's mesh rank compacted to its index
+// among the members; a -join replacement later grows the world back and the
+// same factory sheds the absorbed rows to their original owners.
+func trainElastic(ds *datagen.Dataset, parts []int32, topo *core.Topology, pcfg core.ParallelConfig,
 	rc elastic.RunnerConfig, every int) {
 	rank := rc.Rank
-	rc.NewTrainer = func(r int) (*core.RankTrainer, error) {
-		return core.NewRankTrainer(ds, topo, pcfg, r)
-	}
+	rc.NewTrainer = memberTrainerFactory(ds, parts, topo, pcfg, rc.World)
 	// The display loss here is this rank's share (the elastic loop owns the
 	// transport, so the CLI cannot piggyback a display AllReduce); the test
 	// score is global — replicas are identical after each epoch's reduce.
@@ -327,8 +354,60 @@ func trainElastic(ds *datagen.Dataset, topo *core.Topology, pcfg core.ParallelCo
 		fmt.Printf("rank %d absorbed %d peer death(s); resumed from generation(s) %v\n",
 			rank, rep.Recoveries, rep.StartGens[1:])
 	}
+	for _, m := range rep.Worlds {
+		if len(m) < rc.World {
+			fmt.Printf("rank %d trained part of the run on a shrunken world of %d (members %v)\n", rank, len(m), m)
+		}
+	}
 	if rank == 0 {
 		fmt.Printf("\nfinal: val %.4f  test %.4f\n", rt.Evaluate(ds.ValMask), rt.Evaluate(ds.TestMask))
+	}
+}
+
+// memberTrainerFactory builds the per-generation trainer factory for the
+// elastic loop. The full member set reuses the launch-time topology; a
+// shrunken set derives its k'-way layout with partition.ShrinkToMembers and
+// rebuilds the topology, memoized per member set — every recovery of the
+// same membership must agree bit-for-bit, and the multilevel rebuild is too
+// expensive to redo per bootstrap.
+func memberTrainerFactory(ds *datagen.Dataset, parts []int32, topo *core.Topology,
+	pcfg core.ParallelConfig, world int) func(members []int, slot int) (*core.RankTrainer, error) {
+	type layout struct {
+		topo *core.Topology
+		err  error
+	}
+	cache := map[string]*layout{}
+	var mu sync.Mutex
+	return func(members []int, slot int) (*core.RankTrainer, error) {
+		idx := -1
+		for i, m := range members {
+			if m == slot {
+				idx = i
+			}
+		}
+		if idx < 0 {
+			return nil, fmt.Errorf("rank %d is not in the member set %v", slot, members)
+		}
+		if len(members) == world {
+			return core.NewRankTrainer(ds, topo, pcfg, slot)
+		}
+		key := fmt.Sprint(members)
+		mu.Lock()
+		lo, ok := cache[key]
+		if !ok {
+			lo = &layout{}
+			if shrunk, err := partition.ShrinkToMembers(ds.G, parts, world, members); err != nil {
+				lo.err = err
+			} else {
+				lo.topo, lo.err = core.BuildTopology(ds.G, shrunk, len(members))
+			}
+			cache[key] = lo
+		}
+		mu.Unlock()
+		if lo.err != nil {
+			return nil, fmt.Errorf("shrinking partition layout to members %v: %w", members, lo.err)
+		}
+		return core.NewRankTrainer(ds, lo.topo, pcfg, idx)
 	}
 }
 

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func writeHosts(t *testing.T, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), "hosts")
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRendezvousCandidatesDefaultsToLoopback(t *testing.T) {
+	cands, err := rendezvousCandidates("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"127.0.0.1:29500", "127.0.0.1:29501", "127.0.0.1:29502"}
+	if !reflect.DeepEqual(cands, want) {
+		t.Fatalf("loopback candidates %v, want %v", cands, want)
+	}
+}
+
+func TestRendezvousCandidatesPortDefaultingAndPassthrough(t *testing.T) {
+	p := writeHosts(t, "# training cohort\nnode-a\nnode-b:4000\n\n[::1]:4001\n")
+	cands, err := rendezvousCandidates(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"node-a:29500", "node-b:4000", "[::1]:4001"}
+	if !reflect.DeepEqual(cands, want) {
+		t.Fatalf("candidates %v, want %v", cands, want)
+	}
+}
+
+func TestRendezvousCandidatesCountMismatch(t *testing.T) {
+	p := writeHosts(t, "node-a\nnode-b\n")
+	if _, err := rendezvousCandidates(p, 3); err == nil || !strings.Contains(err.Error(), "lists 2 ranks") {
+		t.Fatalf("count mismatch not reported: %v", err)
+	}
+}
+
+func TestRendezvousCandidatesRejectsMalformedEntry(t *testing.T) {
+	// An unbracketed IPv6 literal parses as too many colons — the error must
+	// name the file, the line, and the bracket rule.
+	p := writeHosts(t, "node-a\n::1:4000\n")
+	_, err := rendezvousCandidates(p, 2)
+	if err == nil {
+		t.Fatal("malformed host:port accepted")
+	}
+	for _, want := range []string{"line 2", "::1:4000", "brackets"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("malformed-entry error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestRendezvousCandidatesRejectsDuplicates(t *testing.T) {
+	cases := []struct {
+		name  string
+		hosts string
+		world int
+	}{
+		// The same host:port written twice.
+		{"verbatim", "node-a:4000\nnode-b:4000\nnode-a:4000\n", 3},
+		// Hostnames are case-insensitive; these collide after canonicalizing.
+		{"case-insensitive", "Node-A:4000\nnode-a:4000\n", 2},
+		// A bare host on line 3 defaults to basePort+2 = 29502, which line 1
+		// claimed explicitly — a collision the raw strings don't show.
+		{"port-defaulting", "node-a:29502\nnode-b\nnode-a\n", 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := writeHosts(t, tc.hosts)
+			_, err := rendezvousCandidates(p, tc.world)
+			if err == nil {
+				t.Fatalf("duplicate candidate set accepted:\n%s", tc.hosts)
+			}
+			msg := err.Error()
+			for _, want := range []string{"conflicts with line", "every rank needs its own"} {
+				if !strings.Contains(msg, want) {
+					t.Fatalf("duplicate error %q does not contain %q", msg, want)
+				}
+			}
+			if !strings.Contains(msg, "line ") {
+				t.Fatalf("duplicate error %q names no line numbers", msg)
+			}
+		})
+	}
+}
+
+func TestRendezvousCandidatesSelfConflictLineNumbers(t *testing.T) {
+	// Comments and blank lines must not shift the reported line numbers: the
+	// duplicate pair here sits on physical lines 2 and 5.
+	p := writeHosts(t, "# cohort\nnode-a:4000\nnode-b:4001\n\nnode-a:4000\n")
+	_, err := rendezvousCandidates(p, 3)
+	if err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	for _, want := range []string{"line 5", "line 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not name %s of the conflicting pair", err, want)
+		}
+	}
+}

@@ -62,9 +62,11 @@ func main() {
 		layers    = flag.Int("layers", 0, "model depth when no checkpoint is given (0 = paper default for dataset)")
 		hidden    = flag.Int("hidden", 32, "hidden units when no checkpoint is given")
 
-		addr     = flag.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
-		cache    = flag.Int("cache", 4096, "LRU embedding-cache capacity in logit rows")
-		maxBatch = flag.Int("max-batch", 64, "max concurrent predict requests coalesced into one row-subset pass")
+		addr       = flag.String("addr", "127.0.0.1:8090", "listen address (host:port; port 0 picks a free port)")
+		cache      = flag.Int("cache", 4096, "LRU embedding-cache capacity in logit rows")
+		maxBatch   = flag.Int("max-batch", 64, "max concurrent predict requests coalesced into one row-subset pass")
+		maxQueue   = flag.Int("max-queue", 0, "max predict requests waiting for the dispatcher before new ones are shed with 503 (0 = 4x max-batch)")
+		retryAfter = flag.Duration("retry-after", time.Second, "backoff hint carried in shed responses' Retry-After header")
 	)
 	flag.Parse()
 
@@ -120,7 +122,7 @@ func main() {
 	fmt.Printf("precomputed embeddings for %d nodes in %s (cache %d rows, max batch %d)\n",
 		g.N, time.Since(start).Round(time.Millisecond), *cache, *maxBatch)
 
-	srv := serve.NewServer(eng, serve.ServerConfig{MaxBatch: *maxBatch})
+	srv := serve.NewServer(eng, serve.ServerConfig{MaxBatch: *maxBatch, MaxQueue: *maxQueue, RetryAfter: *retryAfter})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)

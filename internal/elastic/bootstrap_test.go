@@ -43,7 +43,7 @@ func TestBootstrapAgreesOnTableAndMinGen(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			tables[r], errs[r] = bootstrap(r, world, cands, fmt.Sprintf("10.0.0.%d:900%d", r, r), gens[r], deadline)
+			tables[r], errs[r] = bootstrap(bootConfig{rank: r, world: world, cands: cands, dataAddr: fmt.Sprintf("10.0.0.%d:900%d", r, r), myGen: gens[r], deadline: deadline})
 		}(r)
 	}
 	wg.Wait()
@@ -55,6 +55,9 @@ func TestBootstrapAgreesOnTableAndMinGen(t *testing.T) {
 	for r, tbl := range tables {
 		if tbl.startGen != 2 {
 			t.Fatalf("rank %d agreed on gen %d, want min gen 2", r, tbl.startGen)
+		}
+		if !reflect.DeepEqual(tbl.members, []int{0, 1, 2}) {
+			t.Fatalf("rank %d members %v, want the full world", r, tbl.members)
 		}
 		if !reflect.DeepEqual(tbl.addrs, tables[0].addrs) {
 			t.Fatalf("tables diverged: rank 0 %v vs rank %d %v", tables[0].addrs, r, tbl.addrs)
@@ -80,7 +83,7 @@ func TestBootstrapElectsSuccessorThenDefersToRankZero(t *testing.T) {
 		wg.Add(1)
 		go func(r int) {
 			defer wg.Done()
-			tables[r], errs[r] = bootstrap(r, world, cands, fmt.Sprintf("addr-%d:1", r), 3, deadline)
+			tables[r], errs[r] = bootstrap(bootConfig{rank: r, world: world, cands: cands, dataAddr: fmt.Sprintf("addr-%d:1", r), myGen: 3, deadline: deadline})
 		}(r)
 	}
 	// The replacement rank 0 shows up well after rank 1 has started serving.
@@ -88,7 +91,7 @@ func TestBootstrapElectsSuccessorThenDefersToRankZero(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		time.Sleep(1500 * time.Millisecond)
-		tables[0], errs[0] = bootstrap(0, world, cands, "addr-0:1", 0, deadline)
+		tables[0], errs[0] = bootstrap(bootConfig{rank: 0, world: world, cands: cands, dataAddr: "addr-0:1", myGen: 0, deadline: deadline})
 	}()
 	wg.Wait()
 	for r, err := range errs {
@@ -108,7 +111,7 @@ func TestBootstrapElectsSuccessorThenDefersToRankZero(t *testing.T) {
 
 // TestBootstrapWorldOfOne needs no sockets at all.
 func TestBootstrapWorldOfOne(t *testing.T) {
-	tbl, err := bootstrap(0, 1, []string{"unused:1"}, "me:2", 4, time.Now().Add(time.Second))
+	tbl, err := bootstrap(bootConfig{rank: 0, world: 1, cands: []string{"unused:1"}, dataAddr: "me:2", myGen: 4, deadline: time.Now().Add(time.Second)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +123,7 @@ func TestBootstrapWorldOfOne(t *testing.T) {
 // TestBootstrapRejectsBadCandidateSet: a candidate list that disagrees with
 // the world size is a misconfiguration, not something to retry.
 func TestBootstrapRejectsBadCandidateSet(t *testing.T) {
-	if _, err := bootstrap(0, 3, []string{"a:1"}, "me:2", 0, time.Now().Add(time.Second)); err == nil {
+	if _, err := bootstrap(bootConfig{rank: 0, world: 3, cands: []string{"a:1"}, dataAddr: "me:2", deadline: time.Now().Add(time.Second)}); err == nil {
 		t.Fatal("short candidate list must be rejected")
 	}
 }
@@ -130,7 +133,7 @@ func TestBootstrapRejectsBadCandidateSet(t *testing.T) {
 // situation, not hang.
 func TestBootstrapDeadlineSurfacesPointedError(t *testing.T) {
 	cands := freeCandidates(t, 2)
-	_, err := bootstrap(0, 2, cands, "me:2", 0, time.Now().Add(2*time.Second))
+	_, err := bootstrap(bootConfig{rank: 0, world: 2, cands: cands, dataAddr: "me:2", deadline: time.Now().Add(2 * time.Second)})
 	if err == nil {
 		t.Fatal("lone rank completed a world-2 rendezvous")
 	}

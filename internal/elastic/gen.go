@@ -41,7 +41,17 @@ func CheckpointPath(dir string, rank, gen int) string {
 
 // SaveGeneration atomically writes rank rt.Rank's checkpoint for gen.
 func SaveGeneration(dir string, gen int, rt *core.RankTrainer) error {
-	return core.SaveTrainerCheckpointFile(CheckpointPath(dir, rt.Rank, gen), rt)
+	return SaveGenerationAs(dir, gen, rt.Rank, rt)
+}
+
+// SaveGenerationAs atomically writes the checkpoint for gen under slot's
+// file name. The slot is a rank's PERMANENT identity — its launch-time rank.
+// On a full-strength world slot == rt.Rank; after a world shrink the
+// trainer's compact rank differs from its slot, and checkpoint files stay
+// keyed by slot so a grown-back cohort finds every rank's history where it
+// expects it.
+func SaveGenerationAs(dir string, gen, slot int, rt *core.RankTrainer) error {
+	return core.SaveTrainerCheckpointFile(CheckpointPath(dir, slot, gen), rt)
 }
 
 // listGens returns every checkpoint generation present on disk for rank,
@@ -152,4 +162,83 @@ func LoadGeneration(dir string, gen int, rt *core.RankTrainer) error {
 		return nil
 	}
 	return core.LoadTrainerCheckpointFile(CheckpointPath(dir, rt.Rank, gen), rt)
+}
+
+// scanSlots returns the distinct slots with at least one checkpoint file in
+// dir, ascending.
+func scanSlots(dir string) []int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	seen := map[int]bool{}
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "ckpt-r") || !strings.HasSuffix(name, ".bnst") {
+			continue
+		}
+		rest := name[len("ckpt-r"):]
+		i := strings.Index(rest, "-g")
+		if i < 0 {
+			continue
+		}
+		s, err := strconv.Atoi(rest[:i])
+		if err != nil || s < 0 {
+			continue
+		}
+		seen[s] = true
+	}
+	slots := make([]int, 0, len(seen))
+	for s := range seen {
+		slots = append(slots, s)
+	}
+	sort.Ints(slots)
+	return slots
+}
+
+// LatestValidGenAny returns the newest generation for which ANY slot's shard
+// verifies. This is what a -join replacement reports at rendezvous: its own
+// slot's files are stale (or missing) after the cohort trained without it,
+// but with the shared checkpoint directory the elastic mode mandates, any
+// member's shard of a generation carries the replica-identical model state
+// it needs — reporting its own stale number would needlessly roll every
+// survivor back.
+func LatestValidGenAny(dir string) int {
+	best := 0
+	for _, s := range scanSlots(dir) {
+		if g := LatestValidGen(dir, s); g > best {
+			best = g
+		}
+	}
+	return best
+}
+
+// LoadGenerationAs restores generation gen into rt from slot's own shard
+// or, when that shard is missing or fails verification, from the lowest
+// slot whose shard of gen does verify — the donor. Donor hydration is how a
+// re-admitted replacement (or a survivor absorbing a dead slot's rows)
+// catches up past its own stale files: the model and Adam state in every
+// shard of a generation are replica-identical, and the donor's sampling/
+// dropout RNG positions are adopted wholesale, which keeps the resumed run
+// deterministic (the streams are applied to this rank's own partition, so
+// the draws decorrelate immediately). Returns the slot actually loaded —
+// slot itself on the normal path, -1 for gen 0.
+func LoadGenerationAs(dir string, gen, slot int, rt *core.RankTrainer) (int, error) {
+	if gen == 0 {
+		return -1, nil
+	}
+	own := CheckpointPath(dir, slot, gen)
+	if core.VerifyTrainerCheckpointFile(own) == nil {
+		return slot, core.LoadTrainerCheckpointFile(own, rt)
+	}
+	for _, d := range scanSlots(dir) {
+		if d == slot {
+			continue
+		}
+		p := CheckpointPath(dir, d, gen)
+		if core.VerifyTrainerCheckpointFile(p) == nil {
+			return d, core.LoadTrainerCheckpointFile(p, rt)
+		}
+	}
+	return -1, fmt.Errorf("elastic: no shard of generation %d verifies in %s (slot %d needs one to resume)", gen, dir, slot)
 }

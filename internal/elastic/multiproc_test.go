@@ -33,6 +33,18 @@ const (
 	empEnvCands  = "BNSGCN_EMP_CANDS"
 	empEnvEpochs = "BNSGCN_EMP_EPOCHS"
 	empEnvEvery  = "BNSGCN_EMP_EVERY"
+	// Resize knobs, unset for the plain kill-and-rejoin test: ResizeAfter
+	// rounds, Rejoin flag, rendezvous timing in ms, and a scripted suicide
+	// epoch (the process exits hard at that epoch boundary — a deterministic
+	// stand-in for a parent SIGKILL, used by the shrink-determinism test).
+	empEnvResize  = "BNSGCN_EMP_RESIZE"
+	empEnvJoin    = "BNSGCN_EMP_JOIN"
+	empEnvStagMS  = "BNSGCN_EMP_STAGGER_MS"
+	empEnvRoundMS = "BNSGCN_EMP_ROUND_MS"
+	empEnvDieAt   = "BNSGCN_EMP_DIE_AT"
+	// empEnvSlowMS stretches every epoch by a sleep, widening the window in
+	// which a late replacement can knock while the shrunken world trains.
+	empEnvSlowMS = "BNSGCN_EMP_SLOW_MS"
 	empWorld     = 3
 	empEpochs    = 8
 	empEvery     = 2
@@ -48,39 +60,66 @@ func TestElasticMPHelper(t *testing.T) {
 	world, _ := strconv.Atoi(os.Getenv(empEnvWorld))
 	epochs, _ := strconv.Atoi(os.Getenv(empEnvEpochs))
 	every, _ := strconv.Atoi(os.Getenv(empEnvEvery))
+	resize, _ := strconv.Atoi(os.Getenv(empEnvResize))
+	stagMS, _ := strconv.Atoi(os.Getenv(empEnvStagMS))
+	roundMS, _ := strconv.Atoi(os.Getenv(empEnvRoundMS))
+	dieAt, _ := strconv.Atoi(os.Getenv(empEnvDieAt))
 
-	ds, topo, cfg := testFixture(t, world)
+	ds, parts, topo, cfg := testFixtureParts(t, world)
 	rt, rep, err := Run(RunnerConfig{
-		Config:     Config{Dir: os.Getenv(empEnvDir), Every: every, Epochs: epochs, MaxRecoveries: 3},
+		Config: Config{
+			Dir: os.Getenv(empEnvDir), Every: every, Epochs: epochs, MaxRecoveries: 3,
+			ResizeAfter:     resize,
+			ElectionStagger: time.Duration(stagMS) * time.Millisecond,
+			RendezvousRound: time.Duration(roundMS) * time.Millisecond,
+		},
 		Rank:       rank,
 		World:      world,
 		Candidates: strings.Split(os.Getenv(empEnvCands), ","),
 		Timeout:    60 * time.Second,
-		NewTrainer: func(r int) (*core.RankTrainer, error) {
-			return core.NewRankTrainer(ds, topo, cfg, r)
-		},
+		Rejoin:     os.Getenv(empEnvJoin) == "1",
+		NewTrainer: memberFactory(ds, parts, topo, cfg, world),
 		// Stream epoch progress so the parent can time the SIGKILL; Printf
-		// hits the stdout fd directly, no buffering to defeat.
+		// hits the stdout fd directly, no buffering to defeat. The printed
+		// rank is the slot, which on a shrunken world differs from rt.Rank.
 		OnEpoch: func(rt *core.RankTrainer, _ core.RankStats) {
-			fmt.Printf("EMP-EPOCH rank=%d epoch=%d\n", rt.Rank, rt.Epoch())
+			fmt.Printf("EMP-EPOCH rank=%d epoch=%d\n", rank, rt.Epoch())
+			if dieAt > 0 && rt.Epoch() == dieAt {
+				os.Exit(17) // scripted death, as abrupt as a SIGKILL to the peers
+			}
+			if ms, _ := strconv.Atoi(os.Getenv(empEnvSlowMS)); ms > 0 {
+				time.Sleep(time.Duration(ms) * time.Millisecond)
+			}
 		},
 	})
 	if err != nil {
 		t.Fatalf("elastic run: %v (report %+v)", err, rep)
 	}
-	fmt.Printf("EMP-RESULT rank=%d hash=%s recoveries=%d\n", rank, paramHash(rt.Model), rep.Recoveries)
+	fmt.Printf("EMP-RESULT rank=%d hash=%s recoveries=%d worlds=%s\n",
+		rank, paramHash(rt.Model), rep.Recoveries, worldsKey(rep.Worlds))
 }
 
-func empCommand(ctx context.Context, exe, dir, cands string, rank int) *exec.Cmd {
+// worldsKey flattens a Report.Worlds history into "3:2:3"-style member-set
+// sizes, printable on one line and comparable across ranks.
+func worldsKey(worlds [][]int) string {
+	sizes := make([]string, len(worlds))
+	for i, m := range worlds {
+		sizes[i] = strconv.Itoa(len(m))
+	}
+	return strings.Join(sizes, ":")
+}
+
+func empCommand(ctx context.Context, exe, dir, cands string, world, rank, epochs int, extra ...string) *exec.Cmd {
 	cmd := exec.CommandContext(ctx, exe, "-test.run=TestElasticMPHelper$", "-test.v")
 	cmd.Env = append(os.Environ(),
 		fmt.Sprintf("%s=%d", empEnvRank, rank),
-		fmt.Sprintf("%s=%d", empEnvWorld, empWorld),
+		fmt.Sprintf("%s=%d", empEnvWorld, world),
 		fmt.Sprintf("%s=%s", empEnvDir, dir),
 		fmt.Sprintf("%s=%s", empEnvCands, cands),
-		fmt.Sprintf("%s=%d", empEnvEpochs, empEpochs),
+		fmt.Sprintf("%s=%d", empEnvEpochs, epochs),
 		fmt.Sprintf("%s=%d", empEnvEvery, empEvery),
 	)
+	cmd.Env = append(cmd.Env, extra...)
 	return cmd
 }
 
@@ -105,7 +144,7 @@ func TestMultiProcessKillAndRejoin(t *testing.T) {
 	// Stdout is teed by the scanner goroutine; stderr gets its own buffer —
 	// exec copies stderr on a separate goroutine, so sharing one buffer
 	// between the two would race.
-	victim := empCommand(ctx, exe, dir, cands, 0)
+	victim := empCommand(ctx, exe, dir, cands, empWorld, 0, empEpochs)
 	victimOut, victimErr := &bytes.Buffer{}, &bytes.Buffer{}
 	victim.Stderr = victimErr
 	pipe, err := victim.StdoutPipe()
@@ -135,7 +174,7 @@ func TestMultiProcessKillAndRejoin(t *testing.T) {
 	survivors := make([]*exec.Cmd, 0, empWorld-1)
 	outs := make(map[int]*bytes.Buffer)
 	for r := 1; r < empWorld; r++ {
-		cmd := empCommand(ctx, exe, dir, cands, r)
+		cmd := empCommand(ctx, exe, dir, cands, empWorld, r, empEpochs)
 		outs[r] = &bytes.Buffer{}
 		cmd.Stdout, cmd.Stderr = outs[r], outs[r]
 		if err := cmd.Start(); err != nil {
@@ -163,7 +202,7 @@ func TestMultiProcessKillAndRejoin(t *testing.T) {
 	scanWG.Wait()
 
 	// The replacement process claims the dead slot — the -join path.
-	replacement := empCommand(ctx, exe, dir, cands, 0)
+	replacement := empCommand(ctx, exe, dir, cands, empWorld, 0, empEpochs)
 	outs[0] = &bytes.Buffer{}
 	replacement.Stdout, replacement.Stderr = outs[0], outs[0]
 	if err := replacement.Start(); err != nil {

@@ -15,6 +15,9 @@ import (
 // from a survivor once admitted.
 type RunnerConfig struct {
 	Config
+	// Rank is this process's SLOT: its stable launch-time identity, naming
+	// its rendezvous candidate and its checkpoint shards. On a shrunken
+	// world the mesh rank is the slot's index in the agreed member set.
 	Rank  int
 	World int
 	// Candidates is the rendezvous candidate address per rank (see
@@ -32,19 +35,33 @@ type RunnerConfig struct {
 	// connections are detected.
 	HeartbeatInterval time.Duration
 	HeartbeatTimeout  time.Duration
-	// NewTrainer constructs this rank's trainer from scratch; called afresh
-	// on every bootstrap, like the Supervisor's.
-	NewTrainer func(rank int) (*core.RankTrainer, error)
+	// Rejoin marks a replacement re-admitting itself into a possibly
+	// running cohort (cmd/bnsgcn -join): it probes every rendezvous
+	// candidate — a shrunken cohort answers on the lowest LIVE slot, which
+	// may be above ours — and reports the newest generation ANY slot holds,
+	// since its own shard files are stale.
+	Rejoin bool
+	// NewTrainer constructs this slot's trainer for the given member set
+	// (k' = len(members), compact mesh rank = index of slot in members);
+	// called afresh on every bootstrap, like the Supervisor's. On a
+	// full-strength world members is simply [0, World).
+	NewTrainer func(members []int, slot int) (*core.RankTrainer, error)
 	// OnEpoch, when set, observes every completed epoch (progress logging,
 	// test instrumentation).
 	OnEpoch func(rt *core.RankTrainer, st core.RankStats)
 }
 
 // Run executes this rank's elastic training loop: bootstrap (elect a
-// rendezvous server, agree on the address table and the resume generation),
+// rendezvous server, agree on the member table and the resume generation),
 // mesh, reload, train with periodic checkpoints — and on a peer's death,
-// tear everything down and do it again. It returns the trainer at
-// Cfg.Epochs and the recovery report.
+// tear everything down and do it again. With Config.ResizeAfter set, a
+// bootstrap that can't reassemble the full world completes with the stable
+// survivors instead: they fold the dead slots' rows into their own
+// partitions (the members-aware NewTrainer) and train on at k'; while
+// shrunken, the lowest live slot keeps a growth listener on its rendezvous
+// candidate, so a late replacement's knock aborts the small mesh and the
+// next bootstrap reassembles the full world, shedding the absorbed rows
+// back. Returns the trainer at Cfg.Epochs and the recovery report.
 func Run(cfg RunnerConfig) (*core.RankTrainer, Report, error) {
 	var rep Report
 	if err := cfg.validate(); err != nil {
@@ -57,7 +74,10 @@ func Run(cfg RunnerConfig) (*core.RankTrainer, Report, error) {
 		cfg.ListenHost = "127.0.0.1"
 	}
 	for {
-		rt, startGen, err := runGeneration(&cfg)
+		rt, startGen, members, err := runGeneration(&cfg)
+		if members != nil {
+			rep.Worlds = append(rep.Worlds, members)
+		}
 		if err == nil {
 			rep.StartGens = append(rep.StartGens, startGen)
 			return rt, rep, nil
@@ -85,26 +105,48 @@ func meshError(rank int, err error) error {
 }
 
 // runGeneration runs one bootstrap-train cycle. The returned generation is
-// the one the cohort agreed to resume from, or -1 if the failure happened
-// before agreement.
-func runGeneration(cfg *RunnerConfig) (*core.RankTrainer, int, error) {
+// the one the cohort agreed to resume from (-1 if the failure happened
+// before agreement), and members is the slot set the cohort agreed to train
+// as (nil before agreement).
+func runGeneration(cfg *RunnerConfig) (*core.RankTrainer, int, []int, error) {
 	deadline := time.Now().Add(cfg.Timeout)
 
 	// The data listener binds before rendezvous — its address is what we
 	// advertise in the registration.
 	dataLn, err := net.Listen("tcp", net.JoinHostPort(cfg.ListenHost, "0"))
 	if err != nil {
-		return nil, -1, fmt.Errorf("elastic: rank %d: data listener: %w", cfg.Rank, err)
+		return nil, -1, nil, fmt.Errorf("elastic: rank %d: data listener: %w", cfg.Rank, err)
 	}
 	myGen := LatestValidGen(cfg.Dir, cfg.Rank)
-	tbl, err := bootstrap(cfg.Rank, cfg.World, cfg.Candidates, dataLn.Addr().String(), myGen, deadline)
+	if cfg.Rejoin {
+		if a := LatestValidGenAny(cfg.Dir); a > myGen {
+			myGen = a
+		}
+	}
+	tbl, err := bootstrap(bootConfig{
+		rank:        cfg.Rank,
+		world:       cfg.World,
+		cands:       cfg.Candidates,
+		dataAddr:    dataLn.Addr().String(),
+		myGen:       myGen,
+		rejoin:      cfg.Rejoin,
+		stagger:     cfg.ElectionStagger,
+		round:       cfg.RendezvousRound,
+		resizeAfter: cfg.ResizeAfter,
+		deadline:    deadline,
+	})
 	if err != nil {
 		dataLn.Close()
-		return nil, -1, err
+		return nil, -1, nil, err
+	}
+	myIdx := indexOf(tbl.members, cfg.Rank)
+	if myIdx < 0 {
+		dataLn.Close()
+		return nil, tbl.startGen, tbl.members, fmt.Errorf("elastic: rank %d: agreed member set %v has no seat for this rank", cfg.Rank, tbl.members)
 	}
 	tp, err := comm.DialTCPMesh(comm.TCPConfig{
-		Rank:              cfg.Rank,
-		World:             cfg.World,
+		Rank:              myIdx,
+		World:             len(tbl.members),
 		ListenHost:        cfg.ListenHost,
 		Timeout:           time.Until(deadline),
 		HeartbeatInterval: cfg.HeartbeatInterval,
@@ -113,44 +155,104 @@ func runGeneration(cfg *RunnerConfig) (*core.RankTrainer, int, error) {
 	if err != nil {
 		// The table went stale between agreement and mesh (another rank died
 		// in the window, or a partial broadcast) — retry the bootstrap.
-		return nil, tbl.startGen, meshError(cfg.Rank, fmt.Errorf("mesh dial failed: %w", err))
+		return nil, tbl.startGen, tbl.members, meshError(cfg.Rank, fmt.Errorf("mesh dial failed: %w", err))
 	}
 
-	rt, err := cfg.NewTrainer(cfg.Rank)
+	rt, err := cfg.NewTrainer(tbl.members, cfg.Rank)
 	if err != nil {
 		tp.Close()
-		return nil, tbl.startGen, err
+		return nil, tbl.startGen, tbl.members, err
 	}
-	if err := LoadGeneration(cfg.Dir, tbl.startGen, rt); err != nil {
+	donor, err := LoadGenerationAs(cfg.Dir, tbl.startGen, cfg.Rank, rt)
+	if err != nil {
 		tp.Close()
-		return nil, tbl.startGen, fmt.Errorf("elastic: rank %d: load gen %d: %w", cfg.Rank, tbl.startGen, err)
+		return nil, tbl.startGen, tbl.members, fmt.Errorf("elastic: rank %d: load gen %d: %w", cfg.Rank, tbl.startGen, err)
+	}
+	if donor >= 0 && donor != cfg.Rank {
+		debugf("rank %d: hydrated gen %d from slot %d's shard", cfg.Rank, tbl.startGen, donor)
+	}
+	if len(tbl.members) < cfg.World && tbl.startGen > 0 {
+		// Shrunken resume: before training on rows absorbed from the dead
+		// slots, cross-check the replica invariant against whatever final
+		// shards the dead slots left behind.
+		if err := verifyDeadShards(cfg, tbl.members, tbl.startGen, rt); err != nil {
+			tp.Close()
+			return nil, tbl.startGen, tbl.members, err
+		}
 	}
 	// Bootstrap-time GC, scoped to this rank's own files: peers share the
 	// directory and may not have torn down yet, so only our .tmp residue and
 	// our generations older than the agreed consensus are swept.
 	if _, err := CleanupTmp(cfg.Dir, cfg.Rank); err != nil {
 		tp.Close()
-		return nil, tbl.startGen, fmt.Errorf("elastic: rank %d: tmp cleanup: %w", cfg.Rank, err)
+		return nil, tbl.startGen, tbl.members, fmt.Errorf("elastic: rank %d: tmp cleanup: %w", cfg.Rank, err)
 	}
 	if _, err := PruneGenerations(cfg.Dir, cfg.Rank, cfg.KeepGenerations, tbl.startGen); err != nil {
 		tp.Close()
-		return nil, tbl.startGen, fmt.Errorf("elastic: rank %d: checkpoint GC: %w", cfg.Rank, err)
+		return nil, tbl.startGen, tbl.members, fmt.Errorf("elastic: rank %d: checkpoint GC: %w", cfg.Rank, err)
+	}
+
+	// While the world is shrunken, the lowest live slot keeps the door open
+	// for replacements: a growth listener on its own rendezvous candidate.
+	// An admit knock aborts the k' mesh (idempotent, safe from the watcher
+	// goroutine), every survivor recovers, and the next bootstrap sees the
+	// replacement. Failure to open the listener is not fatal — training at
+	// k' proceeds; a replacement then only gets in after an organic failure.
+	if len(tbl.members) < cfg.World && cfg.Rank == tbl.members[0] {
+		gw, gerr := newGrowWatcher(cfg.Candidates[cfg.Rank], cfg.Rank, cfg.World, tbl.members, func(slot int) {
+			tp.Abort()
+		})
+		if gerr != nil {
+			debugf("rank %d: no growth listener: %v", cfg.Rank, gerr)
+		} else {
+			defer gw.Close()
+		}
 	}
 
 	w := comm.NewWorker(tp)
-	if err := trainRank(&cfg.Config, rt, w, tbl.startGen, cfg.OnEpoch); err != nil {
+	if err := trainRank(&cfg.Config, rt, w, tbl.startGen, cfg.Rank, cfg.OnEpoch); err != nil {
 		tp.Close()
-		return nil, tbl.startGen, err
+		return nil, tbl.startGen, tbl.members, err
 	}
 	// Drain in lockstep so no rank tears down while a peer still trains.
 	if err := barrier(w); err != nil {
 		tp.Close()
-		return nil, tbl.startGen, err
+		return nil, tbl.startGen, tbl.members, err
 	}
 	if err := tp.Close(); err != nil {
-		return nil, tbl.startGen, err
+		return nil, tbl.startGen, tbl.members, err
 	}
-	return rt, tbl.startGen, nil
+	return rt, tbl.startGen, tbl.members, nil
+}
+
+// verifyDeadShards cross-checks the shrink-time replica invariant: the rows
+// this rank absorbed carry model state that the dead slots last checkpointed
+// too, because every shard of a generation stores the same replica weights.
+// A mismatch means the shared checkpoint directory is skewed (mixed runs,
+// partial copies) and training on it would silently diverge — a hard error,
+// not a recovery. Dead slots that never wrote a verifying shard of this
+// generation are skipped; there is nothing to check against.
+func verifyDeadShards(cfg *RunnerConfig, members []int, gen int, rt *core.RankTrainer) error {
+	for slot := 0; slot < cfg.World; slot++ {
+		if indexOf(members, slot) >= 0 {
+			continue
+		}
+		p := CheckpointPath(cfg.Dir, slot, gen)
+		if core.VerifyTrainerCheckpointFile(p) != nil {
+			continue
+		}
+		m, err := core.LoadModelFile(p)
+		if err != nil {
+			continue
+		}
+		if len(m.ParamVector()) != len(rt.Model.ParamVector()) {
+			return fmt.Errorf("elastic: rank %d: dead slot %d's shard of generation %d has a different model shape: checkpoint directory %s mixes runs; refusing to train on absorbed rows", cfg.Rank, slot, gen, cfg.Dir)
+		}
+		if d := core.MaxParamDiff(m, rt.Model); d != 0 {
+			return fmt.Errorf("elastic: rank %d: dead slot %d's shard of generation %d disagrees with the cohort's weights (max param diff %g): checkpoint directory %s is skewed; refusing to train on absorbed rows", cfg.Rank, slot, gen, d, cfg.Dir)
+		}
+	}
+	return nil
 }
 
 // barrier runs the final synchronization, converting the transport panic a

@@ -23,14 +23,16 @@ func runVictim(t *testing.T, ds *datagen.Dataset, topo *core.Topology, cfg core.
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl, err := bootstrap(rank, world, cands, dataLn.Addr().String(),
-		LatestValidGen(dir, rank), time.Now().Add(30*time.Second))
+	tbl, err := bootstrap(bootConfig{
+		rank: rank, world: world, cands: cands, dataAddr: dataLn.Addr().String(),
+		myGen: LatestValidGen(dir, rank), deadline: time.Now().Add(30 * time.Second),
+	})
 	if err != nil {
 		dataLn.Close()
 		t.Fatalf("victim bootstrap: %v", err)
 	}
 	tp, err := comm.DialTCPMesh(comm.TCPConfig{
-		Rank: rank, World: world, ListenHost: "127.0.0.1", Timeout: 30 * time.Second,
+		Rank: indexOf(tbl.members, rank), World: len(tbl.members), ListenHost: "127.0.0.1", Timeout: 30 * time.Second,
 	}, dataLn, tbl.addrs)
 	if err != nil {
 		t.Fatalf("victim mesh: %v", err)
@@ -80,8 +82,8 @@ func TestRunnerRecoversAndReadmitsReplacement(t *testing.T) {
 			World:      world,
 			Candidates: cands,
 			Timeout:    30 * time.Second,
-			NewTrainer: func(r int) (*core.RankTrainer, error) {
-				return core.NewRankTrainer(ds, topo, cfg, r)
+			NewTrainer: func(_ []int, slot int) (*core.RankTrainer, error) {
+				return core.NewRankTrainer(ds, topo, cfg, slot)
 			},
 		}
 	}

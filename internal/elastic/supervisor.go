@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -32,6 +33,23 @@ type Config struct {
 	// to resume from (see PruneGenerations). Zero keeps everything — the
 	// prior behavior.
 	KeepGenerations int
+	// ResizeAfter, when positive, enables world resizing: a rendezvous whose
+	// rounds keep timing out with the same stable partial cohort (at least
+	// two live ranks) completes after that many consecutive rounds with just
+	// the survivors, who repartition the dead ranks' rows among themselves
+	// and train on at the smaller world. Zero (the default) keeps the PR-6
+	// behavior: wait for a replacement forever.
+	ResizeAfter int
+	// ElectionStagger is the per-rank delay unit before a rank gives up
+	// probing lower candidates and serves its own rendezvous round (rank r
+	// waits r*ElectionStagger). Zero means the 300ms default; chaos tests
+	// shrink it to keep elections off the wall clock.
+	ElectionStagger time.Duration
+	// RendezvousRound is the collection window of one rendezvous round.
+	// Zero means the 3s default. ResizeAfter is counted in these rounds, so
+	// the time from last heartbeat to a shrink decision is roughly
+	// ResizeAfter*RendezvousRound.
+	RendezvousRound time.Duration
 }
 
 func (c *Config) validate() error {
@@ -44,6 +62,12 @@ func (c *Config) validate() error {
 	if c.Dir == "" {
 		return fmt.Errorf("elastic: checkpoint directory is required")
 	}
+	if c.ResizeAfter < 0 {
+		return fmt.Errorf("elastic: negative ResizeAfter %d", c.ResizeAfter)
+	}
+	if c.ElectionStagger < 0 || c.RendezvousRound < 0 {
+		return fmt.Errorf("elastic: negative rendezvous timing (stagger %v, round %v)", c.ElectionStagger, c.RendezvousRound)
+	}
 	return nil
 }
 
@@ -54,6 +78,10 @@ type Report struct {
 	// StartGens records the checkpoint generation each bootstrap agreed to
 	// resume from; StartGens[0] is the initial start (0 = fresh).
 	StartGens []int
+	// Worlds records the member slots each bootstrap agreed on, parallel to
+	// StartGens: the full [0,world) on a full-strength generation, the
+	// surviving slots on a shrunken one.
+	Worlds [][]int
 	// Failures holds the error that triggered each recovery.
 	Failures []error
 }
@@ -73,11 +101,13 @@ func recoverable(err error) bool {
 // deterministic epoch boundary; on plain transports it is a no-op.
 // startGen is the generation the cohort agreed to resume from at the last
 // bootstrap — the floor the post-save GC must never prune past, since any
-// future recovery's consensus can fall back to it.
-func trainRank(cfg *Config, rt *core.RankTrainer, w *comm.Worker, startGen int, onEpoch func(*core.RankTrainer, core.RankStats)) error {
+// future recovery's consensus can fall back to it. slot is the rank's
+// stable launch-time identity; checkpoints are keyed by it, while rt.Rank
+// is the compact mesh rank (they differ only on a shrunken world).
+func trainRank(cfg *Config, rt *core.RankTrainer, w *comm.Worker, startGen, slot int, onEpoch func(*core.RankTrainer, core.RankStats)) error {
 	for rt.Epoch() < cfg.Epochs {
 		if err := comm.MarkEpoch(w.Transport(), rt.Epoch()); err != nil {
-			return fmt.Errorf("elastic: rank %d: %w", rt.Rank, err)
+			return fmt.Errorf("elastic: rank %d: %w", slot, err)
 		}
 		st, err := rt.TrainEpoch(w)
 		if err != nil {
@@ -87,11 +117,11 @@ func trainRank(cfg *Config, rt *core.RankTrainer, w *comm.Worker, startGen int, 
 			onEpoch(rt, st)
 		}
 		if rt.Epoch()%cfg.Every == 0 {
-			if err := SaveGeneration(cfg.Dir, rt.Epoch()/cfg.Every, rt); err != nil {
-				return fmt.Errorf("elastic: rank %d: checkpoint save: %w", rt.Rank, err)
+			if err := SaveGenerationAs(cfg.Dir, rt.Epoch()/cfg.Every, slot, rt); err != nil {
+				return fmt.Errorf("elastic: rank %d: checkpoint save: %w", slot, err)
 			}
-			if _, err := PruneGenerations(cfg.Dir, rt.Rank, cfg.KeepGenerations, startGen); err != nil {
-				return fmt.Errorf("elastic: rank %d: checkpoint GC: %w", rt.Rank, err)
+			if _, err := PruneGenerations(cfg.Dir, slot, cfg.KeepGenerations, startGen); err != nil {
+				return fmt.Errorf("elastic: rank %d: checkpoint GC: %w", slot, err)
 			}
 		}
 	}
@@ -115,7 +145,18 @@ type Supervisor struct {
 	// inject faults by wrapping the returned group in comm.WithFaults for
 	// the generation the fault should fire in; a fresh group per generation
 	// is what guarantees a one-shot fault cannot re-fire after recovery.
+	// When Members is set, the group's size must equal len(Members(gen)).
 	NewGroup func(gen int) (*comm.Group, error)
+	// Members, when set, scripts world resizing: it returns the live slots
+	// of rendezvous generation gen (nil means the full world). This is the
+	// in-process stand-in for the rendezvous shrink election — the resize
+	// chaos tests use it to pin exactly which generations run shrunken.
+	// Requires NewTrainerAt.
+	Members func(gen int) []int
+	// NewTrainerAt, when set, replaces NewTrainer with a members-aware
+	// factory: it builds the trainer for slot within the given member set
+	// (compact rank = index of slot in members, k' = len(members)).
+	NewTrainerAt func(members []int, slot int) (*core.RankTrainer, error)
 	// OnEpoch, when set, observes every completed epoch on every rank.
 	OnEpoch func(rt *core.RankTrainer, st core.RankStats)
 }
@@ -127,33 +168,63 @@ func (s *Supervisor) Run() ([]*core.RankTrainer, Report, error) {
 	if err := s.Cfg.validate(); err != nil {
 		return nil, rep, err
 	}
+	var prev []int
 	for gen := 0; ; gen++ {
 		g, err := s.NewGroup(gen)
 		if err != nil {
 			return nil, rep, fmt.Errorf("elastic: generation %d: group: %w", gen, err)
 		}
 		k := g.Size()
+		members := fullMembers(k)
+		if s.Members != nil {
+			if m := s.Members(gen); m != nil {
+				members = m
+			}
+			if s.NewTrainerAt == nil {
+				g.Close()
+				return nil, rep, fmt.Errorf("elastic: Members requires NewTrainerAt: a resized world needs a members-aware trainer factory")
+			}
+			if len(members) != k {
+				g.Close()
+				return nil, rep, fmt.Errorf("elastic: generation %d: Members lists %d slots but the group has %d endpoints", gen, len(members), k)
+			}
+		}
+		rep.Worlds = append(rep.Worlds, append([]int(nil), members...))
 		trainers := make([]*core.RankTrainer, k)
 		for r := range trainers {
-			if trainers[r], err = s.NewTrainer(r); err != nil {
+			if s.NewTrainerAt != nil {
+				trainers[r], err = s.NewTrainerAt(members, members[r])
+			} else {
+				trainers[r], err = s.NewTrainer(members[r])
+			}
+			if err != nil {
 				g.Close()
-				return nil, rep, fmt.Errorf("elastic: generation %d: trainer %d: %w", gen, r, err)
+				return nil, rep, fmt.Errorf("elastic: generation %d: trainer %d: %w", gen, members[r], err)
 			}
 		}
 		// Generation consensus, the in-process degenerate case: every rank's
 		// scan is a local directory read, the agreement is a plain min. The
 		// multi-process loop exchanges the same numbers through the elastic
-		// rendezvous (see bootstrap.go).
+		// rendezvous (see bootstrap.go). A slot re-admitted after sitting a
+		// generation out (a -join replacement in the multi-process world)
+		// reports the newest generation held by ANY slot: its own files are
+		// stale, and donor hydration below covers the gap, so its staleness
+		// must not drag the whole cohort back.
 		start := 0
-		for r := 0; r < k; r++ {
-			lg := LatestValidGen(s.Cfg.Dir, r)
-			if r == 0 || lg < start {
+		for i, slot := range members {
+			lg := LatestValidGen(s.Cfg.Dir, slot)
+			if gen > 0 && prev != nil && indexOf(prev, slot) < 0 {
+				if a := LatestValidGenAny(s.Cfg.Dir); a > lg {
+					lg = a
+				}
+			}
+			if i == 0 || lg < start {
 				start = lg
 			}
 		}
 		rep.StartGens = append(rep.StartGens, start)
 		for r := range trainers {
-			if err := LoadGeneration(s.Cfg.Dir, start, trainers[r]); err != nil {
+			if _, err := LoadGenerationAs(s.Cfg.Dir, start, members[r], trainers[r]); err != nil {
 				g.Close()
 				return nil, rep, fmt.Errorf("elastic: generation %d: load gen %d: %w", gen, start, err)
 			}
@@ -165,8 +236,8 @@ func (s *Supervisor) Run() ([]*core.RankTrainer, Report, error) {
 			g.Close()
 			return nil, rep, fmt.Errorf("elastic: generation %d: tmp cleanup: %w", gen, err)
 		}
-		for r := 0; r < k; r++ {
-			if _, err := PruneGenerations(s.Cfg.Dir, r, s.Cfg.KeepGenerations, start); err != nil {
+		for _, slot := range members {
+			if _, err := PruneGenerations(s.Cfg.Dir, slot, s.Cfg.KeepGenerations, start); err != nil {
 				g.Close()
 				return nil, rep, fmt.Errorf("elastic: generation %d: checkpoint GC: %w", gen, err)
 			}
@@ -178,11 +249,12 @@ func (s *Supervisor) Run() ([]*core.RankTrainer, Report, error) {
 			wg.Add(1)
 			go func(r int) {
 				defer wg.Done()
-				errs[r] = trainRank(&s.Cfg, trainers[r], g.Worker(r), start, s.OnEpoch)
+				errs[r] = trainRank(&s.Cfg, trainers[r], g.Worker(r), start, members[r], s.OnEpoch)
 			}(r)
 		}
 		wg.Wait()
 		g.Close()
+		prev = members
 
 		// Pick the most informative failure for the report: the victim's own
 		// error names the root cause (e.g. an injected fault), while the

@@ -28,6 +28,14 @@ import (
 
 func testFixture(t testing.TB, k int) (*datagen.Dataset, *core.Topology, core.ParallelConfig) {
 	t.Helper()
+	ds, _, topo, cfg := testFixtureParts(t, k)
+	return ds, topo, cfg
+}
+
+// testFixtureParts additionally exposes the METIS assignment, which the
+// resize tests need to fold dead slots' rows into the survivors.
+func testFixtureParts(t testing.TB, k int) (*datagen.Dataset, []int32, *core.Topology, core.ParallelConfig) {
+	t.Helper()
 	ds, err := datagen.Generate(datagen.Config{
 		Name: "elastic-test", Nodes: 300, Communities: 4, AvgDegree: 8,
 		IntraFrac: 0.8, DegreeSkew: 2.0, FeatureDim: 8,
@@ -46,7 +54,28 @@ func testFixture(t testing.TB, k int) (*datagen.Dataset, *core.Topology, core.Pa
 		t.Fatal(err)
 	}
 	mc := core.ModelConfig{Arch: core.ArchSAGE, Layers: 2, Hidden: 16, Dropout: 0.3, LR: 0.01, Seed: 5}
-	return ds, topo, core.ParallelConfig{Model: mc, P: 0.5, SampleSeed: 11}
+	return ds, parts, topo, core.ParallelConfig{Model: mc, P: 0.5, SampleSeed: 11}
+}
+
+// memberFactory builds a members-aware trainer factory over the fixture: on
+// the full member set it reuses the full topology; on a shrunken set it folds
+// the dead slots' rows into the survivors (partition.ShrinkToMembers) and
+// rebuilds the k' topology — the same layout rule cmd/bnsgcn uses.
+func memberFactory(ds *datagen.Dataset, parts []int32, topo *core.Topology, cfg core.ParallelConfig, world int) func(members []int, slot int) (*core.RankTrainer, error) {
+	return func(members []int, slot int) (*core.RankTrainer, error) {
+		if len(members) == world {
+			return core.NewRankTrainer(ds, topo, cfg, slot)
+		}
+		shrunk, err := partition.ShrinkToMembers(ds.G, parts, world, members)
+		if err != nil {
+			return nil, err
+		}
+		st, err := core.BuildTopology(ds.G, shrunk, len(members))
+		if err != nil {
+			return nil, err
+		}
+		return core.NewRankTrainer(ds, st, cfg, indexOf(members, slot))
+	}
 }
 
 func paramHash(m *core.Model) string {

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestPredictFloodShedsBoundedAnd503 is the backpressure regression test:
+// with the dispatcher stalled and the queue at its brim, a flood of predict
+// requests must be shed immediately — every caller gets ErrOverloaded, the
+// queue never grows past MaxQueue (bounded memory: a shed request parks no
+// goroutine and holds no slot), the HTTP layer answers 503 with the
+// configured Retry-After, and once the dispatcher resumes the staged work
+// still completes and the server takes traffic again.
+func TestPredictFloodShedsBoundedAnd503(t *testing.T) {
+	ds := testDataset(t, 24)
+	ft, _ := trainedModel(t, ds, core.ArchSAGE, 2)
+	eng, err := NewEngine(ft.Model, ds.G, ds.Features, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+
+	const maxQueue = 8
+	// newServer seam: no dispatcher yet, so the queue fills and stays full —
+	// the deterministic stand-in for an engine pass that is taking too long.
+	srv := newServer(eng, ServerConfig{MaxBatch: 4, MaxQueue: maxQueue, RetryAfter: 2 * time.Second})
+	staged := make([]chan predictResp, maxQueue)
+	for i := range staged {
+		staged[i] = make(chan predictResp, 1)
+		srv.reqCh <- predictReq{nodes: []int32{0}, resp: staged[i]}
+	}
+
+	// The flood: hundreds of concurrent callers against a full queue. All of
+	// them must return at once with ErrOverloaded — if any blocked, wg.Wait
+	// would hang and the deadline below would flag it.
+	const flood = 500
+	errs := make(chan error, flood)
+	var wg sync.WaitGroup
+	for i := 0; i < flood; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := srv.Predict([]int32{1})
+			errs <- err
+		}()
+	}
+	floodDone := make(chan struct{})
+	go func() { wg.Wait(); close(floodDone) }()
+	select {
+	case <-floodDone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("flood callers blocked on a full queue instead of shedding")
+	}
+	close(errs)
+	for err := range errs {
+		if err != ErrOverloaded {
+			t.Fatalf("flood caller got %v, want ErrOverloaded", err)
+		}
+	}
+	if n := len(srv.reqCh); n != maxQueue {
+		t.Fatalf("queue depth %d after flood, want pinned at MaxQueue=%d", n, maxQueue)
+	}
+	if got := srv.shed.Load(); got != flood {
+		t.Fatalf("shed counter %d, want %d", got, flood)
+	}
+
+	// The HTTP layer translates a shed into 503 + Retry-After (whole
+	// seconds from ServerConfig.RetryAfter).
+	hs := httptest.NewServer(srv.Handler())
+	resp, err := http.Get(hs.URL + "/v1/predict?nodes=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed request answered %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After header %q, want %q", ra, "2")
+	}
+
+	// Recovery: the dispatcher starts, drains the staged queue (none of the
+	// staged work was lost to the flood), the shed total lands in stats, and
+	// a fresh predict succeeds.
+	go srv.dispatch()
+	for i, c := range staged {
+		if r := <-c; r.err != nil {
+			t.Fatalf("staged request %d failed after dispatcher resumed: %v", i, r.err)
+		}
+	}
+	if _, err := srv.Predict([]int32{2}); err != nil {
+		t.Fatalf("predict after recovery: %v", err)
+	}
+	st, err := srv.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shed != flood+1 {
+		t.Fatalf("stats report %d shed requests, want %d (flood + HTTP probe)", st.Shed, flood+1)
+	}
+
+	hs.Close()
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Fatalf("goroutine leak after flood: %d before, %d after", before, now)
+	}
+}

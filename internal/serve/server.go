@@ -7,6 +7,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // The HTTP layer. The engine is single-owner, so instead of wrapping it in
@@ -21,6 +23,15 @@ type ServerConfig struct {
 	// MaxBatch bounds how many queued predict requests one dispatch
 	// coalesces into a single engine pass. Default 64.
 	MaxBatch int
+	// MaxQueue bounds how many predict requests may wait for the dispatcher
+	// at once. A request arriving at a full queue is shed immediately with
+	// ErrOverloaded (HTTP 503 + Retry-After) instead of parking a handler
+	// goroutine — load beyond this depth costs the sender a retry, not the
+	// server unbounded memory. Default 4×MaxBatch.
+	MaxQueue int
+	// RetryAfter is the backoff hint shed responses carry in their
+	// Retry-After header, rounded up to whole seconds. Default 1s.
+	RetryAfter time.Duration
 }
 
 // ServerStats extends the engine counters with batching telemetry.
@@ -34,6 +45,9 @@ type ServerStats struct {
 	Batched int64 `json:"batched_requests"`
 	// MaxBatched is the largest single coalesced batch observed.
 	MaxBatched int `json:"max_batched"`
+	// Shed counts predict requests rejected with ErrOverloaded because the
+	// dispatcher queue was full when they arrived.
+	Shed int64 `json:"shed_requests"`
 }
 
 type predictReq struct {
@@ -59,8 +73,9 @@ type updateResp struct {
 
 // Server owns an Engine and serves it over HTTP.
 type Server struct {
-	eng      *Engine
-	maxBatch int
+	eng        *Engine
+	maxBatch   int
+	retryAfter time.Duration
 
 	reqCh   chan predictReq
 	updCh   chan updateReq
@@ -69,6 +84,7 @@ type Server struct {
 	batches    int64
 	batched    int64
 	maxBatched int
+	shed       atomic.Int64
 
 	closeOnce sync.Once
 	done      chan struct{}
@@ -88,14 +104,21 @@ func newServer(eng *Engine, cfg ServerConfig) *Server {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 64
 	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxBatch
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
 	s := &Server{
-		eng:      eng,
-		maxBatch: cfg.MaxBatch,
-		reqCh:    make(chan predictReq, cfg.MaxBatch),
-		updCh:    make(chan updateReq),
-		statsCh:  make(chan chan ServerStats),
-		done:     make(chan struct{}),
-		stopped:  make(chan struct{}),
+		eng:        eng,
+		maxBatch:   cfg.MaxBatch,
+		retryAfter: cfg.RetryAfter,
+		reqCh:      make(chan predictReq, cfg.MaxQueue),
+		updCh:      make(chan updateReq),
+		statsCh:    make(chan chan ServerStats),
+		done:       make(chan struct{}),
+		stopped:    make(chan struct{}),
 	}
 	return s
 }
@@ -164,19 +187,30 @@ func (s *Server) snapshot() ServerStats {
 		Batches:    s.batches,
 		Batched:    s.batched,
 		MaxBatched: s.maxBatched,
+		Shed:       s.shed.Load(),
 	}
 }
 
 // errClosed is what handlers report when the dispatcher has been closed.
 var errClosed = fmt.Errorf("serve: server is shut down")
 
-// Predict routes one request through the dispatcher.
+// ErrOverloaded is returned by Predict when the dispatcher queue is full:
+// the request was shed without being enqueued. Callers should back off and
+// retry; the HTTP layer translates this to 503 with a Retry-After header.
+var ErrOverloaded = fmt.Errorf("serve: predict queue is full, request shed")
+
+// Predict routes one request through the dispatcher. It never blocks on a
+// full queue — load past MaxQueue is shed with ErrOverloaded so the number
+// of parked requests (and the memory holding them) stays bounded.
 func (s *Server) Predict(nodes []int32) ([][]float32, error) {
 	resp := make(chan predictResp, 1)
 	select {
 	case s.reqCh <- predictReq{nodes: nodes, resp: resp}:
 	case <-s.done:
 		return nil, errClosed
+	default:
+		s.shed.Add(1)
+		return nil, ErrOverloaded
 	}
 	select {
 	case r := <-resp:
@@ -313,8 +347,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	rows, err := s.Predict(nodes)
 	if err != nil {
 		code := http.StatusBadRequest
-		if err == errClosed {
+		switch err {
+		case errClosed:
 			code = http.StatusServiceUnavailable
+		case ErrOverloaded:
+			code = http.StatusServiceUnavailable
+			secs := int(s.retryAfter.Round(time.Second) / time.Second)
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 		}
 		writeErr(w, code, err)
 		return
